@@ -1,0 +1,294 @@
+// Package repro's benchmark harness: one testing.B benchmark per table and
+// figure in the paper's evaluation. Each benchmark regenerates its
+// experiment at a benchmark-friendly scale and reports the headline
+// quantities as custom metrics (messages, virtual seconds, ratios), so
+// `go test -bench=. -benchmem` reproduces the entire evaluation.
+//
+// The paper-faithful full-scale runs live in the cmd/ tools; see
+// EXPERIMENTS.md for the side-by-side against the paper's numbers.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchOpts keeps per-iteration work modest.
+func benchOpts() core.Options {
+	return core.Options{DeviceBlocks: 131072}
+}
+
+// BenchmarkTable2ColdCacheSyscalls regenerates Table 2 for a
+// representative subset of operations.
+func BenchmarkTable2ColdCacheSyscalls(b *testing.B) {
+	ops := []string{"mkdir", "chdir", "readdir", "creat", "stat"}
+	var total int64
+	for i := 0; i < b.N; i++ {
+		for _, name := range ops {
+			op, err := core.FindMicroOp(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, stack := range testbed.AllKinds {
+				n, err := core.MicroCount(benchOpts(), op, 0, stack, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += n
+			}
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "messages/iter")
+}
+
+// BenchmarkTable3WarmCacheSyscalls regenerates Table 3 for the same subset.
+func BenchmarkTable3WarmCacheSyscalls(b *testing.B) {
+	ops := []string{"mkdir", "chdir", "readdir", "creat", "stat"}
+	var total int64
+	for i := 0; i < b.N; i++ {
+		for _, name := range ops {
+			op, err := core.FindMicroOp(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, stack := range testbed.AllKinds {
+				n, err := core.MicroCount(benchOpts(), op, 0, stack, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += n
+			}
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "messages/iter")
+}
+
+// BenchmarkFigure3BatchingEffects regenerates the update-aggregation curve
+// for mkdir and reports the amortized cost at the largest batch.
+func BenchmarkFigure3BatchingEffects(b *testing.B) {
+	var amortized float64
+	for i := 0; i < b.N; i++ {
+		series, err := core.RunFigure3(benchOpts(), []int{1, 64, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Op == "mkdir" {
+				amortized = s.Points[len(s.Points)-1].PerOpMsgs
+			}
+		}
+	}
+	b.ReportMetric(amortized, "msgs/op@256")
+}
+
+// BenchmarkFigure4DirectoryDepth regenerates the depth sweep at three
+// depths and reports the iSCSI cold slope.
+func BenchmarkFigure4DirectoryDepth(b *testing.B) {
+	var slope float64
+	for i := 0; i < b.N; i++ {
+		op, _ := core.FindMicroOp("mkdir")
+		d0, err := core.MicroCount(benchOpts(), op, 0, core.ISCSI, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d8, err := core.MicroCount(benchOpts(), op, 8, core.ISCSI, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slope = float64(d8-d0) / 8
+	}
+	b.ReportMetric(slope, "msgs/level")
+}
+
+// BenchmarkFigure5ReadWriteSizes regenerates the size sweep at two sizes.
+func BenchmarkFigure5ReadWriteSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure5(benchOpts(), []int{4096, 65536}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4SequentialRandom regenerates Table 4 at 16 MB and reports
+// the sequential-write message ratio (paper: ~29x).
+func BenchmarkTable4SequentialRandom(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable4(benchOpts(), 16<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "Sequential writes" && r.ISCSI.Messages > 0 {
+				ratio = float64(r.NFS.Messages) / float64(r.ISCSI.Messages)
+			}
+		}
+	}
+	b.ReportMetric(ratio, "nfs/iscsi-write-msgs")
+}
+
+// BenchmarkFigure6LatencySweep regenerates two points of the latency sweep
+// at 8 MB and reports the NFS write slowdown from 10 ms to 50 ms RTT.
+func BenchmarkFigure6LatencySweep(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		pts, err := core.RunFigure6(benchOpts(), 8<<20,
+			[]time.Duration{10 * time.Millisecond, 50 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo := pts[0].Seconds[core.NFSv3]["seq-write"]
+		hi := pts[1].Seconds[core.NFSv3]["seq-write"]
+		if lo > 0 {
+			slowdown = hi / lo
+		}
+	}
+	b.ReportMetric(slowdown, "nfs-write-slowdown-10to50ms")
+}
+
+// BenchmarkTable5PostMark regenerates Table 5 at 2% scale and reports the
+// iSCSI speedup.
+func BenchmarkTable5PostMark(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable5(benchOpts(), core.MacroScale(0.02))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		if r.ISCSI.Elapsed > 0 {
+			speedup = float64(r.NFS.Elapsed) / float64(r.ISCSI.Elapsed)
+		}
+	}
+	b.ReportMetric(speedup, "iscsi-speedup")
+}
+
+// BenchmarkTable6TPCC regenerates Table 6 at 10% scale and reports the
+// normalized throughput (paper: 1.08).
+func BenchmarkTable6TPCC(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		row, err := core.RunTable6(benchOpts(), core.MacroScale(0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm = row.Normalized
+	}
+	b.ReportMetric(norm, "normalized-tpmC")
+}
+
+// BenchmarkTable7TPCH regenerates Table 7 at 10% scale and reports the
+// normalized throughput (paper: 1.07).
+func BenchmarkTable7TPCH(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		row, err := core.RunTable7(benchOpts(), core.MacroScale(0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm = row.Normalized
+	}
+	b.ReportMetric(norm, "normalized-QphH")
+}
+
+// BenchmarkTable8OtherBenchmarks regenerates Table 8 at 25% scale and
+// reports the tar speedup (paper: 12x).
+func BenchmarkTable8OtherBenchmarks(b *testing.B) {
+	var tarSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunTable8(benchOpts(), core.MacroScale(0.25))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].ISCSI.Elapsed > 0 {
+			tarSpeedup = float64(rows[0].NFS.Elapsed) / float64(rows[0].ISCSI.Elapsed)
+		}
+	}
+	b.ReportMetric(tarSpeedup, "tar-speedup")
+}
+
+// BenchmarkTable9ServerCPU regenerates the server CPU comparison on
+// PostMark and reports the NFS:iSCSI utilization ratio (paper: ~6x).
+func BenchmarkTable9ServerCPU(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := workload.PostMarkConfig{Files: 300, Transactions: 3000, MinSize: 500, MaxSize: 10000, Seed: 42}
+		var nfsCPU, iscsiCPU float64
+		for _, kind := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
+			tb, err := testbed.New(testbed.Config{Kind: kind, DeviceBlocks: 131072})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, _, err := workload.PostMark(tb, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if kind == testbed.NFSv3 {
+				nfsCPU = res.ServerCPU
+			} else {
+				iscsiCPU = res.ServerCPU
+			}
+		}
+		if iscsiCPU > 0 {
+			ratio = nfsCPU / iscsiCPU
+		}
+	}
+	b.ReportMetric(ratio, "server-cpu-ratio")
+}
+
+// BenchmarkTable10ClientCPU regenerates the client CPU comparison on
+// PostMark and reports the iSCSI:NFS utilization ratio (paper: ~12x).
+func BenchmarkTable10ClientCPU(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := workload.PostMarkConfig{Files: 300, Transactions: 3000, MinSize: 500, MaxSize: 10000, Seed: 42}
+		var nfsCPU, iscsiCPU float64
+		for _, kind := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
+			tb, err := testbed.New(testbed.Config{Kind: kind, DeviceBlocks: 131072})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, _, err := workload.PostMark(tb, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if kind == testbed.NFSv3 {
+				nfsCPU = res.ClientCPU
+			} else {
+				iscsiCPU = res.ClientCPU
+			}
+		}
+		if nfsCPU > 0 {
+			ratio = iscsiCPU / nfsCPU
+		}
+	}
+	b.ReportMetric(ratio, "client-cpu-ratio")
+}
+
+// BenchmarkFigure7TraceSharing regenerates the sharing analysis.
+func BenchmarkFigure7TraceSharing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []trace.Profile{trace.EECS(), trace.Campus()} {
+			recs := trace.Synthesize(p)
+			trace.AnalyzeSharing(recs, []time.Duration{16 * time.Second, 256 * time.Second})
+		}
+	}
+}
+
+// BenchmarkSection7Enhancements regenerates the meta-data cache and
+// delegation simulations and reports the EECS delegation reduction.
+func BenchmarkSection7Enhancements(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		recs := trace.Synthesize(trace.EECS())
+		trace.SimulateMetadataCache(recs, 1024)
+		res := trace.SimulateDelegation(recs)
+		reduction = res.MessageReduction
+	}
+	b.ReportMetric(reduction*100, "delegation-reduction-%")
+}

@@ -1,0 +1,30 @@
+// Command latency regenerates Figure 6: the NISTNet wide-area experiment
+// sweeping round-trip latency from 10 to 90 ms and measuring sequential
+// and random read/write completion times on NFS v3 and iSCSI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
+	step := flag.Int("step", 20, "RTT step in ms (paper plots 10ms steps)")
+	flag.Parse()
+
+	var rtts []time.Duration
+	for ms := 10; ms <= 90; ms += *step {
+		rtts = append(rtts, time.Duration(ms)*time.Millisecond)
+	}
+	points, err := core.RunFigure6(core.Options{}, *sizeMB<<20, rtts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+	core.RenderFigure6(os.Stdout, points)
+}

@@ -1,0 +1,85 @@
+// Command macrobench regenerates the database and shell macro-benchmarks:
+// Table 6 (TPC-C), Table 7 (TPC-H), Table 8 (tar/ls/compile/rm) and the
+// CPU utilization Tables 9 and 10.
+//
+// Usage:
+//
+//	macrobench -bench tpcc
+//	macrobench -bench tpch
+//	macrobench -bench kernel
+//	macrobench -cpu
+//	macrobench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark: tpcc, tpch or kernel")
+	cpu := flag.Bool("cpu", false, "regenerate CPU utilization tables 9 and 10")
+	all := flag.Bool("all", false, "run everything")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	flag.Parse()
+
+	opts := core.Options{}
+	s := core.MacroScale(*scale)
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "macrobench:", err)
+		os.Exit(1)
+	}
+
+	runTPCC := func() {
+		row, err := core.RunTable6(opts, s)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Table 6:")
+		core.RenderTPC(os.Stdout, row, "tpmC")
+	}
+	runTPCH := func() {
+		row, err := core.RunTable7(opts, s)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("Table 7:")
+		core.RenderTPC(os.Stdout, row, "QphH")
+	}
+	runKernel := func() {
+		rows, err := core.RunTable8(opts, s)
+		if err != nil {
+			die(err)
+		}
+		core.RenderTable8(os.Stdout, rows)
+	}
+	runCPU := func() {
+		rows, err := core.RunTable9And10(opts, s)
+		if err != nil {
+			die(err)
+		}
+		core.RenderCPUTables(os.Stdout, rows)
+	}
+
+	switch {
+	case *all:
+		runTPCC()
+		runTPCH()
+		runKernel()
+		runCPU()
+	case *cpu:
+		runCPU()
+	case *bench == "tpcc":
+		runTPCC()
+	case *bench == "tpch":
+		runTPCH()
+	case *bench == "kernel":
+		runKernel()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

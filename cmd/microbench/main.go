@@ -1,0 +1,108 @@
+// Command microbench regenerates the paper's micro-benchmark results:
+// Tables 2 and 3 (cold/warm-cache message counts for the Table 1 system
+// calls), Figure 3 (iSCSI meta-data update aggregation), Figure 4
+// (directory-depth sensitivity) and Figure 5 (request-size sensitivity).
+//
+// Usage:
+//
+//	microbench -table 2        # cold-cache syscall table
+//	microbench -table 3        # warm-cache syscall table
+//	microbench -figure 3       # batching curves
+//	microbench -figure 4       # depth curves
+//	microbench -figure 5       # size curves
+//	microbench -all            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (2 or 3)")
+	figure := flag.Int("figure", 0, "figure to regenerate (3, 4 or 5)")
+	all := flag.Bool("all", false, "run every micro-benchmark")
+	check := flag.Bool("check", false, "run paper-shape conformance checks on the tables")
+	flag.Parse()
+
+	opts := core.Options{}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+
+	fails := 0
+	runTable := func(n int) {
+		var rows []core.SyscallRow
+		var err error
+		title := ""
+		if n == 2 {
+			title = "Table 2: network message counts, cold cache"
+			rows, err = core.RunTable2(opts)
+		} else {
+			title = "Table 3: network message counts, warm cache"
+			rows, err = core.RunTable3(opts)
+		}
+		if err != nil {
+			die(err)
+		}
+		core.RenderSyscallTable(os.Stdout, title, rows)
+		if *check {
+			var checks []core.ShapeCheck
+			if n == 2 {
+				checks = core.CheckTable2Shapes(rows)
+			} else {
+				checks = core.CheckTable3Shapes(rows)
+			}
+			fails += core.RenderChecks(os.Stdout, "Conformance with the paper's claims:", checks)
+		}
+	}
+	defer func() {
+		if fails > 0 {
+			os.Exit(1)
+		}
+	}()
+	runFigure := func(n int) {
+		switch n {
+		case 3:
+			series, err := core.RunFigure3(opts, nil)
+			if err != nil {
+				die(err)
+			}
+			core.RenderFigure3(os.Stdout, series)
+		case 4:
+			series, err := core.RunFigure4(opts, nil)
+			if err != nil {
+				die(err)
+			}
+			core.RenderFigure4(os.Stdout, series)
+		case 5:
+			series, err := core.RunFigure5(opts, nil)
+			if err != nil {
+				die(err)
+			}
+			core.RenderFigure5(os.Stdout, series)
+		default:
+			die(fmt.Errorf("unknown figure %d", n))
+		}
+	}
+
+	switch {
+	case *all:
+		runTable(2)
+		runTable(3)
+		runFigure(3)
+		runFigure(4)
+		runFigure(5)
+	case *table == 2 || *table == 3:
+		runTable(*table)
+	case *figure != 0:
+		runFigure(*figure)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,24 @@
+// Command postmark regenerates Table 5: PostMark completion times and
+// message counts at pool sizes of 1,000, 5,000 and 25,000 files with
+// 100,000 transactions, on NFS v3 and iSCSI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "scale factor for pool/transactions (1.0 = paper)")
+	flag.Parse()
+
+	rows, err := core.RunTable5(core.Options{}, core.MacroScale(*scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "postmark:", err)
+		os.Exit(1)
+	}
+	core.RenderTable5(os.Stdout, rows)
+}

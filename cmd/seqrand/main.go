@@ -1,0 +1,24 @@
+// Command seqrand regenerates Table 4: completion times, message counts
+// and bytes transferred for sequential and random reads and writes of a
+// large file over NFS v3 and iSCSI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
+	flag.Parse()
+
+	rows, err := core.RunTable4(core.Options{}, *sizeMB<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqrand:", err)
+		os.Exit(1)
+	}
+	core.RenderTable4(os.Stdout, rows)
+}

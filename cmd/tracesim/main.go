@@ -1,0 +1,51 @@
+// Command tracesim regenerates the paper's Section 7 results: Figure 7
+// (directory sharing characteristics of the EECS-like and Campus-like
+// traces) and the trace-driven evaluation of the proposed enhancements —
+// the strongly-consistent read-only meta-data cache (reduction and
+// callback ratio versus cache size) and directory delegation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	figure7 := flag.Bool("figure7", false, "directory sharing analysis (Figure 7)")
+	enhance := flag.Bool("enhance", false, "meta-data cache and delegation simulation")
+	all := flag.Bool("all", false, "run both")
+	flag.Parse()
+
+	if !*figure7 && !*enhance && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	profiles := []trace.Profile{trace.EECS(), trace.Campus()}
+	if *figure7 || *all {
+		for _, p := range profiles {
+			recs := trace.Synthesize(p)
+			pts := trace.AnalyzeSharing(recs, nil)
+			fmt.Print(trace.FormatSharing(p.Name, pts))
+		}
+	}
+	if *enhance || *all {
+		fmt.Println("Section 7: strongly-consistent read-only meta-data cache")
+		fmt.Printf("%-8s %-10s %12s %12s\n", "trace", "cache", "reduction", "callbacks/msg")
+		for _, p := range profiles {
+			recs := trace.Synthesize(p)
+			for _, size := range []int{64, 256, 1024, 4096} {
+				r := trace.SimulateMetadataCache(recs, size)
+				fmt.Printf("%-8s %-10d %11.1f%% %12.4f\n", p.Name, size, r.Reduction*100, r.CallbackRatio)
+			}
+		}
+		fmt.Println("Section 7: directory delegation")
+		fmt.Printf("%-8s %12s %12s\n", "trace", "reduction", "recalls/msg")
+		for _, p := range profiles {
+			r := trace.SimulateDelegation(trace.Synthesize(p))
+			fmt.Printf("%-8s %11.1f%% %12.4f\n", p.Name, r.MessageReduction*100, r.RecallRatio)
+		}
+	}
+}

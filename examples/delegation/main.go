@@ -1,0 +1,77 @@
+// Delegation example: the paper's Section 7 proposal, running. An
+// enhanced NFS client with directory delegation and a strongly-consistent
+// meta-data cache executes a burst of meta-data updates with iSCSI-like
+// message counts, while a second client's conflicting access exercises
+// the lease-recall path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext3"
+	"repro/internal/nfs"
+	"repro/internal/nfsplus"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+)
+
+func main() {
+	// Server: an ext3 export.
+	dev := blockdev.NewTestbedArray(65536)
+	if _, err := ext3.Mkfs(0, dev, ext3.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	fs, _, err := ext3.Mount(0, dev, ext3.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := simnet.New(simnet.DefaultLAN())
+	srv := nfs.NewServer(fs, nil)
+	co := nfsplus.NewCoordinator(srv, net)
+
+	alice := nfsplus.NewClient(co, sunrpc.NewClient(net, sunrpc.TCP), nil)
+	bob := nfsplus.NewClient(co, sunrpc.NewClient(net, sunrpc.TCP), nil)
+	at, _ := alice.Mount(0)
+	at, _ = bob.Mount(at)
+
+	// Alice creates a tree under delegation.
+	before := net.Stats().Messages
+	const n = 100
+	for i := 0; i < n; i++ {
+		if at, err = alice.Mkdir(at, fmt.Sprintf("/work/d%d", i), 0o755); err != nil && i == 0 {
+			// First create needs the parent.
+			if at, err = alice.Mkdir(at, "/work", 0o755); err != nil {
+				log.Fatal(err)
+			}
+			i--
+			continue
+		} else if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if at, err = alice.Sync(at); err != nil {
+		log.Fatal(err)
+	}
+	burst := net.Stats().Messages - before
+	fmt.Printf("alice: %d mkdirs under delegation -> %d wire messages (%.2f/op)\n",
+		n, burst, float64(burst)/float64(n))
+	fmt.Printf("alice: localOps=%d leaseRPCs=%d flushRPCs=%d\n",
+		alice.LocalOps, alice.LeaseRPCs, alice.FlushRPCs)
+
+	// Bob reads the directory: strong consistency, no staleness window.
+	ents, at, err := bob.ReadDir(at, "/work")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob:   sees %d entries immediately (no attribute-cache staleness)\n", len(ents))
+
+	// Bob's own update recalls Alice's lease.
+	if at, err = bob.Mkdir(at, "/work/from-bob", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinator: recalls=%d callbacks=%d after bob's conflicting update\n",
+		co.Recalls, co.Callbacks)
+	_ = at
+}

@@ -1,0 +1,50 @@
+// Quickstart: build both of the paper's testbeds (an NFS v3 client/server
+// pair and an iSCSI-backed local ext3), run the same small workload on
+// each, and print the wire traffic each generated — the repository's
+// one-minute tour of the file-access vs block-access comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/testbed"
+)
+
+func main() {
+	for _, kind := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
+		tb, err := testbed.New(testbed.Config{Kind: kind})
+		if err != nil {
+			log.Fatalf("testbed %v: %v", kind, err)
+		}
+
+		before := tb.Snap()
+
+		// A little meta-data work...
+		if err := tb.Mkdir("/project"); err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.WriteFile("/project/notes.txt", []byte("ip-networked storage\n")); err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Rename("/project/notes.txt", "/project/README"); err != nil {
+			log.Fatal(err)
+		}
+		// ...and a little data work.
+		data, err := tb.ReadFile("/project/README")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tb.Drain(); err != nil {
+			log.Fatal(err)
+		}
+
+		d := tb.Since(before)
+		fmt.Printf("%-8s read back %q\n", tb.Kind, data)
+		fmt.Printf("%-8s messages=%d frames=%d bytes=%d virtual-time=%v\n\n",
+			tb.Kind, d.Messages, d.Frames, d.Bytes, d.Elapsed.Round(0))
+	}
+	fmt.Println("Same workload, two architectures: the message counts differ because")
+	fmt.Println("NFS resolves names with synchronous RPCs while the iSCSI client's")
+	fmt.Println("ext3 journal aggregates meta-data updates into batched block writes.")
+}

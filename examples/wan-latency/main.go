@@ -1,0 +1,42 @@
+// WAN latency example: the paper's NISTNet experiment (Section 4.6) in
+// miniature — sweep the round-trip time and watch NFS writes degrade
+// linearly while iSCSI's asynchronous writes stay flat.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := workload.SeqRandConfig{FileSize: 8 << 20, ChunkSize: 4096, Seed: 7}
+	fmt.Printf("Sequential write of %d MB in 4 KB chunks\n\n", cfg.FileSize>>20)
+	fmt.Printf("%-8s %14s %14s\n", "RTT", "NFS v3", "iSCSI")
+	for _, rttMS := range []int{0, 10, 30, 50, 90} {
+		times := map[testbed.Kind]time.Duration{}
+		for _, kind := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
+			tb, err := testbed.New(testbed.Config{Kind: kind})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rttMS > 0 {
+				tb.SetRTT(time.Duration(rttMS) * time.Millisecond)
+			}
+			res, err := workload.SequentialWrite(tb, cfg)
+			if err != nil {
+				log.Fatalf("write on %v at %dms: %v", kind, rttMS, err)
+			}
+			times[kind] = res.Elapsed
+		}
+		fmt.Printf("%-8s %14v %14v\n", fmt.Sprintf("%dms", rttMS),
+			times[testbed.NFSv3].Round(time.Millisecond),
+			times[testbed.ISCSI].Round(time.Millisecond))
+	}
+	fmt.Println("\nNFS's bounded async-write pool degenerates to pseudo-synchronous")
+	fmt.Println("behaviour, so every page pays the round trip; iSCSI's write-back")
+	fmt.Println("cache is indifferent to latency (compare with Figure 6b).")
+}

@@ -1,0 +1,168 @@
+// Package blockdev defines the block device abstraction the filesystem and
+// the SCSI target sit on, plus a sparse in-memory implementation backed by
+// the simdisk RAID-5 timing model.
+//
+// Devices carry real bytes: the ext3 implementation in this repository lays
+// out genuine superblocks, bitmaps, inode tables and directory blocks, so a
+// device's content can be unmounted, "crashed", remounted and recovered.
+package blockdev
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simdisk"
+)
+
+// Device is a virtual-time block device. All I/O is in whole blocks; start
+// is the virtual time the request is issued and done the completion time.
+type Device interface {
+	// BlockSize returns the device block size in bytes.
+	BlockSize() int
+	// NumBlocks returns the device capacity in blocks.
+	NumBlocks() int64
+	// ReadBlocks reads len(buf)/BlockSize blocks starting at lba into buf.
+	ReadBlocks(start time.Duration, lba int64, buf []byte) (done time.Duration, err error)
+	// WriteBlocks writes len(data)/BlockSize blocks starting at lba.
+	WriteBlocks(start time.Duration, lba int64, data []byte) (done time.Duration, err error)
+	// Flush is a write barrier: it returns once previously written data is
+	// on stable storage (used for journal commit records).
+	Flush(start time.Duration) (done time.Duration, err error)
+}
+
+// Store is a sparse in-memory block image: the "platters". It carries no
+// timing; wrap it in a Local device for timed access. Unwritten blocks read
+// as zeros.
+type Store struct {
+	blockSize int
+	numBlocks int64
+	blocks    map[int64][]byte
+}
+
+// NewStore creates a sparse image of numBlocks blocks of blockSize bytes.
+func NewStore(numBlocks int64, blockSize int) *Store {
+	return &Store{blockSize: blockSize, numBlocks: numBlocks, blocks: make(map[int64][]byte)}
+}
+
+// BlockSize returns the block size in bytes.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// NumBlocks returns capacity in blocks.
+func (s *Store) NumBlocks() int64 { return s.numBlocks }
+
+// ReadAt copies block lba into buf (len buf == blockSize).
+func (s *Store) ReadAt(lba int64, buf []byte) error {
+	if lba < 0 || lba >= s.numBlocks {
+		return fmt.Errorf("blockdev: read beyond store: lba=%d cap=%d", lba, s.numBlocks)
+	}
+	if b, ok := s.blocks[lba]; ok {
+		copy(buf, b)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// WriteAt stores data (len == blockSize) at block lba.
+func (s *Store) WriteAt(lba int64, data []byte) error {
+	if lba < 0 || lba >= s.numBlocks {
+		return fmt.Errorf("blockdev: write beyond store: lba=%d cap=%d", lba, s.numBlocks)
+	}
+	b, ok := s.blocks[lba]
+	if !ok {
+		b = make([]byte, s.blockSize)
+		s.blocks[lba] = b
+	}
+	copy(b, data)
+	return nil
+}
+
+// Populated reports how many blocks have been written (for tests).
+func (s *Store) Populated() int { return len(s.blocks) }
+
+// Local is a directly-attached device: a Store for content plus a RAID-5
+// array for timing. This is the device the NFS server's ext3 uses, and the
+// device behind the iSCSI target.
+type Local struct {
+	store *Store
+	raid  *simdisk.RAID5
+	// FailReads/FailWrites inject I/O errors when set (failure testing).
+	FailReads, FailWrites bool
+}
+
+// NewLocal wraps store with raid timing.
+func NewLocal(store *Store, raid *simdisk.RAID5) *Local {
+	return &Local{store: store, raid: raid}
+}
+
+// NewTestbedArray builds the paper's storage subsystem: a 4+p RAID-5 array
+// of 10K RPM Ultra-160 drives, exposed as a Local device of the given
+// capacity in 4 KB blocks.
+func NewTestbedArray(numBlocks int64) *Local {
+	p := simdisk.Ultra160()
+	p.Blocks = numBlocks // per-member capacity; logical capacity is 4x
+	raid, err := simdisk.NewRAID5(5, p, 8)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return NewLocal(NewStore(numBlocks, 4096), raid)
+}
+
+// BlockSize returns the block size in bytes.
+func (l *Local) BlockSize() int { return l.store.blockSize }
+
+// NumBlocks returns capacity in blocks.
+func (l *Local) NumBlocks() int64 { return l.store.numBlocks }
+
+// Store exposes the backing store (the iSCSI target reuses it).
+func (l *Local) Store() *Store { return l.store }
+
+// RAID exposes the timing array.
+func (l *Local) RAID() *simdisk.RAID5 { return l.raid }
+
+// Stats returns array-level I/O counters.
+func (l *Local) Stats() metrics.DiskStats { return l.raid.Stats() }
+
+// ReadBlocks implements Device.
+func (l *Local) ReadBlocks(start time.Duration, lba int64, buf []byte) (time.Duration, error) {
+	if l.FailReads {
+		return start, fmt.Errorf("blockdev: injected read failure at lba=%d", lba)
+	}
+	bs := l.store.blockSize
+	if len(buf)%bs != 0 {
+		return start, fmt.Errorf("blockdev: read buffer not block-multiple: %d", len(buf))
+	}
+	n := len(buf) / bs
+	for i := 0; i < n; i++ {
+		if err := l.store.ReadAt(lba+int64(i), buf[i*bs:(i+1)*bs]); err != nil {
+			return start, err
+		}
+	}
+	return l.raid.Read(start, lba, n)
+}
+
+// WriteBlocks implements Device.
+func (l *Local) WriteBlocks(start time.Duration, lba int64, data []byte) (time.Duration, error) {
+	if l.FailWrites {
+		return start, fmt.Errorf("blockdev: injected write failure at lba=%d", lba)
+	}
+	bs := l.store.blockSize
+	if len(data)%bs != 0 {
+		return start, fmt.Errorf("blockdev: write buffer not block-multiple: %d", len(data))
+	}
+	n := len(data) / bs
+	for i := 0; i < n; i++ {
+		if err := l.store.WriteAt(lba+int64(i), data[i*bs:(i+1)*bs]); err != nil {
+			return start, err
+		}
+	}
+	return l.raid.Write(start, lba, n)
+}
+
+// Flush implements Device; the local array's write-back cache drains by
+// the time the last member completes, which Acquire ordering guarantees,
+// so this is a timing no-op.
+func (l *Local) Flush(start time.Duration) (time.Duration, error) { return start, nil }

@@ -1,0 +1,99 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreSparseReadsZero(t *testing.T) {
+	s := NewStore(100, 4096)
+	buf := make([]byte, 4096)
+	if err := s.ReadAt(50, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+	if s.Populated() != 0 {
+		t.Fatal("read materialized a block")
+	}
+}
+
+func TestStoreBounds(t *testing.T) {
+	s := NewStore(10, 4096)
+	buf := make([]byte, 4096)
+	if err := s.ReadAt(10, buf); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := s.WriteAt(-1, buf); err == nil {
+		t.Fatal("negative write accepted")
+	}
+}
+
+// Property: write-then-read returns the same bytes for any block/content.
+func TestQuickStoreRoundTrip(t *testing.T) {
+	s := NewStore(256, 4096)
+	f := func(lbaRaw uint8, fill byte) bool {
+		lba := int64(lbaRaw)
+		data := bytes.Repeat([]byte{fill}, 4096)
+		if err := s.WriteAt(lba, data); err != nil {
+			return false
+		}
+		got := make([]byte, 4096)
+		if err := s.ReadAt(lba, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalDeviceTimedIO(t *testing.T) {
+	dev := NewTestbedArray(1024)
+	data := bytes.Repeat([]byte{7}, 8192)
+	done, err := dev.WriteBlocks(0, 10, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("write took no virtual time")
+	}
+	got := make([]byte, 8192)
+	if _, err := dev.ReadBlocks(done, 10, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("device corrupted data")
+	}
+	if dev.Stats().Writes == 0 || dev.Stats().Reads == 0 {
+		t.Fatalf("stats not counted: %+v", dev.Stats())
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	dev := NewTestbedArray(1024)
+	dev.FailReads = true
+	if _, err := dev.ReadBlocks(0, 0, make([]byte, 4096)); err == nil {
+		t.Fatal("injected read failure ignored")
+	}
+	dev.FailReads = false
+	dev.FailWrites = true
+	if _, err := dev.WriteBlocks(0, 0, make([]byte, 4096)); err == nil {
+		t.Fatal("injected write failure ignored")
+	}
+}
+
+func TestUnalignedBuffersRejected(t *testing.T) {
+	dev := NewTestbedArray(1024)
+	if _, err := dev.ReadBlocks(0, 0, make([]byte, 100)); err == nil {
+		t.Fatal("unaligned read accepted")
+	}
+	if _, err := dev.WriteBlocks(0, 0, make([]byte, 5000)); err == nil {
+		t.Fatal("unaligned write accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Ablations isolate the design choices behind the paper's results: the
+// journal commit interval (update aggregation window), the synchronous
+// meta-data export mode (durability vs. performance), the client's
+// async-write pool bound (pseudo-synchronous degeneration), and access
+// time maintenance. Each returns the measured effect so DESIGN.md's
+// causal claims are checkable, not narrative.
+
+// AblationResult is one knob setting's measurement.
+type AblationResult struct {
+	Setting  string
+	Elapsed  time.Duration
+	Messages int64
+}
+
+// AblateCommitInterval runs a burst of meta-data updates on iSCSI under
+// different journal commit intervals. Shorter intervals mean more commits
+// per burst: less aggregation, more messages — quantifying the mechanism
+// behind Figure 3 and Table 3.
+func AblateCommitInterval(opts Options, intervals []time.Duration, ops int) ([]AblationResult, error) {
+	opts.fill()
+	if len(intervals) == 0 {
+		intervals = []time.Duration{100 * time.Millisecond, time.Second, 5 * time.Second, 30 * time.Second}
+	}
+	if ops <= 0 {
+		ops = 200
+	}
+	var out []AblationResult
+	for _, iv := range intervals {
+		tb, err := testbed.New(testbed.Config{
+			Kind:           ISCSI,
+			DeviceBlocks:   opts.DeviceBlocks,
+			CommitInterval: iv,
+			Seed:           opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		before := tb.Snap()
+		for i := 0; i < ops; i++ {
+			if err := tb.Mkdir(fmt.Sprintf("/ci%d", i)); err != nil {
+				return nil, err
+			}
+			// Ops spread in time so interval-driven commits can fire.
+			tb.Idle(50 * time.Millisecond)
+		}
+		if err := tb.Drain(); err != nil {
+			return nil, err
+		}
+		d := tb.Since(before)
+		out = append(out, AblationResult{
+			Setting:  fmt.Sprintf("commit=%v", iv),
+			Elapsed:  d.Elapsed,
+			Messages: d.Messages,
+		})
+	}
+	return out, nil
+}
+
+// AblateSyncExport compares the era's async Linux export against the
+// spec-compliant synchronous export on a meta-data burst over NFS v3: the
+// durability the paper discusses in Section 2.3, priced.
+func AblateSyncExport(opts Options, ops int) (async, sync AblationResult, err error) {
+	opts.fill()
+	if ops <= 0 {
+		ops = 200
+	}
+	run := func(syncMode bool) (AblationResult, error) {
+		tb, err := testbed.New(testbed.Config{
+			Kind:         NFSv3,
+			DeviceBlocks: opts.DeviceBlocks,
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		tb.NFSServer.SyncMetadataUpdates = syncMode
+		before := tb.Snap()
+		for i := 0; i < ops; i++ {
+			if err := tb.Mkdir(fmt.Sprintf("/se%d", i)); err != nil {
+				return AblationResult{}, err
+			}
+		}
+		if err := tb.Drain(); err != nil {
+			return AblationResult{}, err
+		}
+		d := tb.Since(before)
+		name := "async-export"
+		if syncMode {
+			name = "sync-export"
+		}
+		return AblationResult{Setting: name, Elapsed: d.Elapsed, Messages: d.Messages}, nil
+	}
+	if async, err = run(false); err != nil {
+		return
+	}
+	sync, err = run(true)
+	return
+}
+
+// AblateWritePool sweeps the NFS client's async-write pool bound on a
+// sequential write, quantifying Section 4.5's pseudo-synchronous
+// degeneration: small pools stall the writer early and often.
+func AblateWritePool(opts Options, bounds []int, fileSize int64) ([]AblationResult, error) {
+	opts.fill()
+	if len(bounds) == 0 {
+		bounds = []int{64, 256, 1024, 4096}
+	}
+	if fileSize == 0 {
+		fileSize = 8 << 20
+	}
+	var out []AblationResult
+	for _, bound := range bounds {
+		tb, err := testbed.New(testbed.Config{
+			Kind:         NFSv3,
+			DeviceBlocks: opts.DeviceBlocks,
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.NFSClient.MaxPendingWrites = bound
+		res, err := workload.SequentialWrite(tb, workload.SeqRandConfig{
+			FileSize: fileSize, ChunkSize: 4096, Seed: 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{
+			Setting:  fmt.Sprintf("pool=%d pages", bound),
+			Elapsed:  res.Elapsed,
+			Messages: res.Messages,
+		})
+	}
+	return out, nil
+}
+
+// AblateNoAtime measures access-time maintenance cost on iSCSI: a pure
+// read workload generates meta-data write traffic only because of atime
+// (the paper's warm-read observation in Section 4.4).
+func AblateNoAtime(opts Options, reads int) (withAtime, noAtime AblationResult, err error) {
+	opts.fill()
+	if reads <= 0 {
+		reads = 100
+	}
+	run := func(noatime bool) (AblationResult, error) {
+		tb, err := testbed.New(testbed.Config{
+			Kind:         ISCSI,
+			DeviceBlocks: opts.DeviceBlocks,
+			NoAtime:      noatime,
+			Seed:         opts.Seed,
+		})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if err := tb.WriteFile("/hot", make([]byte, 64<<10)); err != nil {
+			return AblationResult{}, err
+		}
+		if err := tb.Drain(); err != nil {
+			return AblationResult{}, err
+		}
+		before := tb.Snap()
+		f, err := tb.Open("/hot")
+		if err != nil {
+			return AblationResult{}, err
+		}
+		buf := make([]byte, 4096)
+		for i := 0; i < reads; i++ {
+			if _, err := tb.ReadFileAt(f, int64(i%16)*4096, buf); err != nil {
+				return AblationResult{}, err
+			}
+			tb.Idle(200 * time.Millisecond)
+		}
+		if err := tb.Drain(); err != nil {
+			return AblationResult{}, err
+		}
+		d := tb.Since(before)
+		name := "atime"
+		if noatime {
+			name = "noatime"
+		}
+		return AblationResult{Setting: name, Elapsed: d.Elapsed, Messages: d.Messages}, nil
+	}
+	if withAtime, err = run(false); err != nil {
+		return
+	}
+	noAtime, err = run(true)
+	return
+}

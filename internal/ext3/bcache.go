@@ -1,0 +1,177 @@
+package ext3
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+)
+
+// buffer is one cached block.
+type buffer struct {
+	lba     int64
+	data    []byte
+	dirty   bool
+	meta    bool          // part of the running journal transaction when dirty
+	pins    int           // committed-but-not-checkpointed; not evictable
+	readyAt time.Duration // async read-ahead completion time
+	elem    *list.Element
+}
+
+// bcacheStats counts cache behaviour.
+type bcacheStats struct {
+	Hits, Misses, Evictions int64
+	ReadAheadHits           int64
+}
+
+// bcache is the client-memory block cache: a unified page/buffer cache the
+// way Linux treats ext3 data and meta-data blocks. Dirty and pinned blocks
+// are never evicted; the journal cleans them at commit/checkpoint time.
+type bcache struct {
+	dev    blockdev.Device
+	max    int
+	blocks map[int64]*buffer
+	lru    *list.List // front = most recently used
+	stats  bcacheStats
+	dirtyData map[int64]*buffer // dirty non-journaled (file data) blocks
+}
+
+func newBcache(dev blockdev.Device, max int) *bcache {
+	return &bcache{
+		dev:       dev,
+		max:       max,
+		blocks:    make(map[int64]*buffer),
+		lru:       list.New(),
+		dirtyData: make(map[int64]*buffer),
+	}
+}
+
+func (c *bcache) touch(b *buffer) {
+	c.lru.MoveToFront(b.elem)
+}
+
+func (c *bcache) insert(b *buffer) {
+	b.elem = c.lru.PushFront(b)
+	c.blocks[b.lba] = b
+	c.evictIfNeeded()
+}
+
+func (c *bcache) evictIfNeeded() {
+	for len(c.blocks) > c.max {
+		evicted := false
+		for e := c.lru.Back(); e != nil; e = e.Prev() {
+			b := e.Value.(*buffer)
+			if b.dirty || b.pins > 0 {
+				continue
+			}
+			c.lru.Remove(e)
+			delete(c.blocks, b.lba)
+			c.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything dirty/pinned; allow temporary overflow
+		}
+	}
+}
+
+// peek returns the cached buffer without device access, or nil.
+func (c *bcache) peek(lba int64) *buffer { return c.blocks[lba] }
+
+// get returns the block at lba, reading through the device on a miss. With
+// zero set, a miss produces a zero-filled block without device I/O (fresh
+// allocations). The returned done time accounts for the device read and for
+// waiting on an in-flight read-ahead.
+func (c *bcache) get(at time.Duration, lba int64, zero bool) (*buffer, time.Duration, error) {
+	if b, ok := c.blocks[lba]; ok {
+		c.touch(b)
+		if zero {
+			// Fresh allocation of a block with stale cached content (it
+			// was freed and reallocated): the caller expects zeroes.
+			for i := range b.data {
+				b.data[i] = 0
+			}
+		}
+		done := at
+		if b.readyAt > at {
+			// Read-ahead in flight: wait for it.
+			done = b.readyAt
+			c.stats.ReadAheadHits++
+		}
+		c.stats.Hits++
+		return b, done, nil
+	}
+	if lba < 0 || lba >= c.dev.NumBlocks() {
+		return nil, at, fmt.Errorf("ext3: implausible block address %d (device holds %d)", lba, c.dev.NumBlocks())
+	}
+	c.stats.Misses++
+	b := &buffer{lba: lba, data: make([]byte, BlockSize)}
+	done := at
+	if !zero {
+		var err error
+		done, err = c.dev.ReadBlocks(at, lba, b.data)
+		if err != nil {
+			return nil, at, fmt.Errorf("ext3: block read %d: %w", lba, err)
+		}
+	}
+	c.insert(b)
+	return b, done, nil
+}
+
+// insertPrefetch caches data for lba arriving at readyAt (read-ahead).
+func (c *bcache) insertPrefetch(lba int64, data []byte, readyAt time.Duration) {
+	if _, ok := c.blocks[lba]; ok {
+		return
+	}
+	b := &buffer{lba: lba, data: data, readyAt: readyAt}
+	c.insert(b)
+}
+
+// markDirty flags a buffer dirty; meta selects the journaled class.
+//
+// A caller may hold a buffer across other cache operations (an indirect
+// block across a bitmap fetch, say) during which eviction can drop the
+// clean buffer — or a re-read can supersede it. Marking dirty reinstates
+// the caller's copy as the authoritative resident one, so mutations are
+// never silently lost.
+func (c *bcache) markDirty(b *buffer, meta bool) {
+	if cur, ok := c.blocks[b.lba]; !ok || cur != b {
+		if ok {
+			c.lru.Remove(cur.elem)
+			if cur.dirty && !cur.meta {
+				delete(c.dirtyData, cur.lba)
+			}
+		}
+		b.elem = c.lru.PushFront(b)
+		c.blocks[b.lba] = b
+	}
+	if b.dirty && b.meta == meta {
+		return
+	}
+	if b.dirty && !b.meta && meta {
+		// Promotion from data to meta-data class (rare; e.g. block reuse).
+		delete(c.dirtyData, b.lba)
+	}
+	b.dirty = true
+	b.meta = meta
+	if !meta {
+		c.dirtyData[b.lba] = b
+	}
+}
+
+// cleanData clears the dirty flag of a data buffer after flush.
+func (c *bcache) cleanData(b *buffer) {
+	b.dirty = false
+	delete(c.dirtyData, b.lba)
+}
+
+// dropAll discards every cached block — the crash model. Dirty state is
+// lost, exactly as client RAM contents are lost in the paper's reliability
+// discussion (Section 2.3).
+func (c *bcache) dropAll() {
+	c.blocks = make(map[int64]*buffer)
+	c.dirtyData = make(map[int64]*buffer)
+	c.lru.Init()
+}

@@ -1,0 +1,202 @@
+package ext3
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Directory blocks use ext2-style packed entries:
+//
+//	+--------+--------+---------+-------+----------------+
+//	| ino u32| rec u16| nlen u8 | ft u8 | name (padded)  |
+//	+--------+--------+---------+-------+----------------+
+//
+// Entries tile a block completely: the final entry's record length extends
+// to the end of the block. Removal merges an entry into its predecessor
+// (or zeroes the inode for the first slot). This mirrors the real format
+// closely enough that directory capacity, split and scan behaviour match.
+
+const direntHeader = 8
+
+// File type bytes stored in directory entries.
+const (
+	FTUnknown byte = 0
+	FTRegular byte = 1
+	FTDir     byte = 2
+	FTSymlink byte = 7
+)
+
+// Dirent is a decoded directory entry.
+type Dirent struct {
+	Ino   Ino
+	FType byte
+	Name  string
+}
+
+// direntRecLen returns the padded record size for a name length.
+func direntRecLen(nameLen int) int {
+	return (direntHeader + nameLen + 3) &^ 3
+}
+
+// direntInitBlock formats an empty directory block containing "." and "..".
+func direntInitBlock(block []byte, self, parent Ino) {
+	for i := range block {
+		block[i] = 0
+	}
+	// "."
+	binary.BigEndian.PutUint32(block[0:], uint32(self))
+	binary.BigEndian.PutUint16(block[4:], uint16(direntRecLen(1)))
+	block[6] = 1
+	block[7] = FTDir
+	block[8] = '.'
+	// ".." consumes the rest of the block.
+	off := direntRecLen(1)
+	binary.BigEndian.PutUint32(block[off:], uint32(parent))
+	binary.BigEndian.PutUint16(block[off+4:], uint16(len(block)-off))
+	block[off+6] = 2
+	block[off+7] = FTDir
+	block[off+8] = '.'
+	block[off+9] = '.'
+}
+
+// direntInitEmpty formats a block as one free record spanning it (used when
+// a directory grows a fresh block).
+func direntInitEmpty(block []byte) {
+	for i := range block {
+		block[i] = 0
+	}
+	binary.BigEndian.PutUint16(block[4:], uint16(len(block)))
+}
+
+// direntScan walks entries in a block, calling fn with each live entry's
+// offset; fn returns true to stop.
+func direntScan(block []byte, fn func(off int, ino Ino, ftype byte, name string) bool) error {
+	off := 0
+	for off < len(block) {
+		if off+direntHeader > len(block) {
+			return fmt.Errorf("ext3: corrupt dirent block: header overruns at %d", off)
+		}
+		ino := Ino(binary.BigEndian.Uint32(block[off:]))
+		rec := int(binary.BigEndian.Uint16(block[off+4:]))
+		nlen := int(block[off+6])
+		ft := block[off+7]
+		if rec < direntHeader || off+rec > len(block) || (rec%4) != 0 {
+			return fmt.Errorf("ext3: corrupt dirent block: bad reclen %d at %d", rec, off)
+		}
+		if ino != 0 && nlen > 0 {
+			if off+direntHeader+nlen > len(block) {
+				return fmt.Errorf("ext3: corrupt dirent block: name overruns at %d", off)
+			}
+			name := string(block[off+direntHeader : off+direntHeader+nlen])
+			if fn(off, ino, ft, name) {
+				return nil
+			}
+		}
+		off += rec
+	}
+	return nil
+}
+
+// direntFind locates name in a block.
+func direntFind(block []byte, name string) (ino Ino, ftype byte, ok bool) {
+	_ = direntScan(block, func(_ int, i Ino, ft byte, n string) bool {
+		if n == name {
+			ino, ftype, ok = i, ft, true
+			return true
+		}
+		return false
+	})
+	return ino, ftype, ok
+}
+
+// direntList returns all live entries in a block.
+func direntList(block []byte) ([]Dirent, error) {
+	var out []Dirent
+	err := direntScan(block, func(_ int, i Ino, ft byte, n string) bool {
+		out = append(out, Dirent{Ino: i, FType: ft, Name: n})
+		return false
+	})
+	return out, err
+}
+
+// direntAdd inserts an entry into a block if space permits, splitting an
+// existing record's slack. Returns false if the block is full.
+func direntAdd(block []byte, name string, ino Ino, ftype byte) bool {
+	need := direntRecLen(len(name))
+	off := 0
+	for off < len(block) {
+		eIno := Ino(binary.BigEndian.Uint32(block[off:]))
+		rec := int(binary.BigEndian.Uint16(block[off+4:]))
+		nlen := int(block[off+6])
+		if rec < direntHeader || off+rec > len(block) {
+			return false // corrupt; caller surfaces errors via direntScan
+		}
+		var used int
+		if eIno == 0 || nlen == 0 {
+			used = 0
+		} else {
+			used = direntRecLen(nlen)
+		}
+		if rec-used >= need {
+			var insOff int
+			if used == 0 {
+				// Reuse the free record in place.
+				insOff = off
+			} else {
+				// Split: shrink the live record, insert after it.
+				binary.BigEndian.PutUint16(block[off+4:], uint16(used))
+				insOff = off + used
+				binary.BigEndian.PutUint16(block[insOff+4:], uint16(rec-used))
+			}
+			binary.BigEndian.PutUint32(block[insOff:], uint32(ino))
+			block[insOff+6] = byte(len(name))
+			block[insOff+7] = ftype
+			copy(block[insOff+direntHeader:], name)
+			return true
+		}
+		off += rec
+	}
+	return false
+}
+
+// direntRemove deletes name from a block, merging its space into the
+// predecessor record. Returns false if the name is not present.
+func direntRemove(block []byte, name string) bool {
+	prev := -1
+	off := 0
+	for off < len(block) {
+		ino := Ino(binary.BigEndian.Uint32(block[off:]))
+		rec := int(binary.BigEndian.Uint16(block[off+4:]))
+		nlen := int(block[off+6])
+		if rec < direntHeader || off+rec > len(block) {
+			return false
+		}
+		if ino != 0 && nlen > 0 && string(block[off+direntHeader:off+direntHeader+nlen]) == name {
+			if prev >= 0 {
+				prec := int(binary.BigEndian.Uint16(block[prev+4:]))
+				binary.BigEndian.PutUint16(block[prev+4:], uint16(prec+rec))
+			} else {
+				binary.BigEndian.PutUint32(block[off:], 0)
+				block[off+6] = 0
+			}
+			return true
+		}
+		prev = off
+		off += rec
+	}
+	return false
+}
+
+// direntEmpty reports whether a directory block holds no live entries other
+// than "." and "..".
+func direntEmpty(block []byte) bool {
+	empty := true
+	_ = direntScan(block, func(_ int, _ Ino, _ byte, n string) bool {
+		if n != "." && n != ".." {
+			empty = false
+			return true
+		}
+		return false
+	})
+	return empty
+}

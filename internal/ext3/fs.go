@@ -1,0 +1,659 @@
+package ext3
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Layout: block 0 superblock, block 1 group descriptor table, blocks
+// [2, 2+journal) journal area, then block groups. Each group holds its
+// block bitmap, inode bitmap, inode table and data blocks, in that order.
+const (
+	sbBlock  = 0
+	gdtBlock = 1
+	jStart   = 2
+)
+
+// gdtEntrySize is the on-disk size of one group descriptor.
+const gdtEntrySize = 16
+
+// FS is a mounted filesystem instance.
+type FS struct {
+	dev  blockdev.Device
+	opts Options
+	sb   *superblock
+	bc   *bcache
+
+	groupFreeBlocks []uint32
+	groupFreeInodes []uint32
+
+	icache  map[Ino]*Inode
+	journal *journal
+	ra      map[Ino]*raState
+
+	lastDirGroup int         // round-robin pointer for directory spreading
+	dirGroup     map[Ino]int // parent dir -> block group for its child dirs
+
+	// dcache maps (directory, name) to an inode, like the Linux dentry
+	// cache: it avoids rescanning directory blocks on every lookup but
+	// never substitutes for block reads the buffer cache would miss.
+	dcache map[dcacheKey]Ino
+
+	async   sim.Pending
+	crashed bool
+	mounted bool
+}
+
+// Mkfs formats dev with a fresh filesystem and returns the completion time.
+func Mkfs(at time.Duration, dev blockdev.Device, opts Options) (time.Duration, error) {
+	opts.fill()
+	if dev.BlockSize() != BlockSize {
+		return at, fmt.Errorf("ext3: device block size %d != %d", dev.BlockSize(), BlockSize)
+	}
+	total := dev.NumBlocks()
+	firstGroup := int64(jStart) + opts.JournalBlocks
+	if total < firstGroup+64 {
+		return at, fmt.Errorf("ext3: device too small: %d blocks", total)
+	}
+	bpg := int64(opts.BlocksPerGroup)
+	ipg := int64(opts.InodesPerGroup)
+	itableBlocks := ipg / InodesPerBlock
+	overhead := 2 + itableBlocks // bitmap + ibitmap + itable
+	groupCount := (total - firstGroup + bpg - 1) / bpg
+	if groupCount > BlockSize/gdtEntrySize {
+		return at, fmt.Errorf("ext3: too many groups (%d) for one GDT block", groupCount)
+	}
+
+	sb := &superblock{
+		Magic:            sbMagic,
+		BlocksCount:      uint64(total),
+		InodesCount:      uint32(groupCount * ipg),
+		BlocksPerGroup:   uint32(bpg),
+		InodesPerGroup:   uint32(ipg),
+		GroupCount:       uint32(groupCount),
+		JournalStart:     jStart,
+		JournalBlocks:    uint64(opts.JournalBlocks),
+		CommitIntervalNs: int64(opts.CommitInterval),
+		State:            sbStateClean,
+	}
+
+	done := at
+	var err error
+	// Zero the journal so stale records can never replay.
+	zero := make([]byte, 64*BlockSize)
+	for off := int64(0); off < opts.JournalBlocks; {
+		n := opts.JournalBlocks - off
+		if n > 64 {
+			n = 64
+		}
+		done, err = dev.WriteBlocks(done, jStart+off, zero[:n*BlockSize])
+		if err != nil {
+			return done, err
+		}
+		off += n
+	}
+
+	gdt := make([]byte, BlockSize)
+	var freeBlocksTotal, freeInodesTotal uint64
+	for g := int64(0); g < groupCount; g++ {
+		gStart := firstGroup + g*bpg
+		gBlocks := bpg
+		if gStart+gBlocks > total {
+			gBlocks = total - gStart
+		}
+		// Block bitmap: overhead blocks and past-device tail marked used.
+		bm := make([]byte, BlockSize)
+		used := overhead
+		if used > gBlocks {
+			used = gBlocks
+		}
+		for i := int64(0); i < used; i++ {
+			bm[i/8] |= 1 << uint(i%8)
+		}
+		for i := gBlocks; i < bpg; i++ {
+			bm[i/8] |= 1 << uint(i%8)
+		}
+		freeB := gBlocks - used
+		if freeB < 0 {
+			freeB = 0
+		}
+		done, err = dev.WriteBlocks(done, gStart, bm)
+		if err != nil {
+			return done, err
+		}
+		// Inode bitmap: inodes 1 (reserved) and 2 (root) used in group 0.
+		ibm := make([]byte, BlockSize)
+		freeI := ipg
+		if g == 0 {
+			ibm[0] |= 0b11 // inode indices 0,1 => inos 1,2
+			freeI -= 2
+		}
+		done, err = dev.WriteBlocks(done, gStart+1, ibm)
+		if err != nil {
+			return done, err
+		}
+		freeBlocksTotal += uint64(freeB)
+		freeInodesTotal += uint64(freeI)
+		binary.BigEndian.PutUint32(gdt[g*gdtEntrySize:], uint32(freeB))
+		binary.BigEndian.PutUint32(gdt[g*gdtEntrySize+4:], uint32(freeI))
+	}
+
+	// Root directory: inode 2, one data block with "." and "..".
+	rootDataLBA := firstGroup + overhead // first data block of group 0
+	// Mark it used in group 0's bitmap.
+	bm := make([]byte, BlockSize)
+	done, err = dev.ReadBlocks(done, firstGroup, bm)
+	if err != nil {
+		return done, err
+	}
+	idx := rootDataLBA - firstGroup
+	bm[idx/8] |= 1 << uint(idx%8)
+	done, err = dev.WriteBlocks(done, firstGroup, bm)
+	if err != nil {
+		return done, err
+	}
+	freeBlocksTotal--
+	binary.BigEndian.PutUint32(gdt[0:], binary.BigEndian.Uint32(gdt[0:])-1)
+
+	dirBlk := make([]byte, BlockSize)
+	direntInitBlock(dirBlk, RootIno, RootIno)
+	done, err = dev.WriteBlocks(done, rootDataLBA, dirBlk)
+	if err != nil {
+		return done, err
+	}
+	root := &Inode{
+		Mode:  uint16(vfs.ModeDir | 0o755),
+		Links: 2,
+		Size:  BlockSize,
+		Blocks: 1,
+	}
+	root.Direct[0] = uint32(rootDataLBA)
+	itBlk := make([]byte, BlockSize)
+	encodeInode(root, itBlk[InodeSize:2*InodeSize]) // ino 2 = index 1
+	done, err = dev.WriteBlocks(done, firstGroup+2, itBlk)
+	if err != nil {
+		return done, err
+	}
+
+	done, err = dev.WriteBlocks(done, gdtBlock, gdt)
+	if err != nil {
+		return done, err
+	}
+	sb.FreeBlocks = freeBlocksTotal
+	sb.FreeInodes = freeInodesTotal
+	return dev.WriteBlocks(done, sbBlock, sb.encode())
+}
+
+// Mount attaches a filesystem, recovering the journal if the previous
+// instance crashed. Returns the FS and mount completion time.
+func Mount(at time.Duration, dev blockdev.Device, opts Options) (*FS, time.Duration, error) {
+	opts.fill()
+	blk := make([]byte, BlockSize)
+	done, err := dev.ReadBlocks(at, sbBlock, blk)
+	if err != nil {
+		return nil, done, err
+	}
+	sb, err := decodeSuperblock(blk)
+	if err != nil {
+		return nil, done, err
+	}
+	fs := &FS{
+		dev:      dev,
+		opts:     opts,
+		sb:       sb,
+		bc:       newBcache(dev, opts.CacheBlocks),
+		icache:   make(map[Ino]*Inode),
+		ra:       make(map[Ino]*raState),
+		dirGroup: make(map[Ino]int),
+		dcache:   make(map[dcacheKey]Ino),
+	}
+	fs.journal = newJournal(fs, int64(sb.JournalStart), int64(sb.JournalBlocks))
+	fs.journal.lastCommit = at
+
+	// Group descriptor table.
+	gdt := make([]byte, BlockSize)
+	done, err = dev.ReadBlocks(done, gdtBlock, gdt)
+	if err != nil {
+		return nil, done, err
+	}
+	fs.groupFreeBlocks = make([]uint32, sb.GroupCount)
+	fs.groupFreeInodes = make([]uint32, sb.GroupCount)
+	for g := uint32(0); g < sb.GroupCount; g++ {
+		fs.groupFreeBlocks[g] = binary.BigEndian.Uint32(gdt[g*gdtEntrySize:])
+		fs.groupFreeInodes[g] = binary.BigEndian.Uint32(gdt[g*gdtEntrySize+4:])
+	}
+
+	if sb.State == sbStateDirty {
+		if _, done, err = recoverJournal(done, fs); err != nil {
+			return nil, done, err
+		}
+	}
+	sb.State = sbStateDirty
+	if done, err = fs.writeSuperblock(done); err != nil {
+		return nil, done, err
+	}
+	// Warm the root inode, as the real mount path does.
+	if _, done, err = fs.getInode(done, RootIno); err != nil {
+		return nil, done, err
+	}
+	fs.mounted = true
+	return fs, done, nil
+}
+
+// writeSuperblock persists the superblock (direct write, not journaled —
+// matching how ext3 treats its own superblock fields we model).
+func (fs *FS) writeSuperblock(at time.Duration) (time.Duration, error) {
+	return fs.dev.WriteBlocks(at, sbBlock, fs.sb.encode())
+}
+
+// writeGDT persists group free counts.
+func (fs *FS) writeGDT(at time.Duration) (time.Duration, error) {
+	gdt := make([]byte, BlockSize)
+	for g := range fs.groupFreeBlocks {
+		binary.BigEndian.PutUint32(gdt[g*gdtEntrySize:], fs.groupFreeBlocks[g])
+		binary.BigEndian.PutUint32(gdt[g*gdtEntrySize+4:], fs.groupFreeInodes[g])
+	}
+	return fs.dev.WriteBlocks(at, gdtBlock, gdt)
+}
+
+// charge bills CPU demand for an operation touching nblocks blocks.
+func (fs *FS) charge(at time.Duration, nblocks int) time.Duration {
+	c := fs.opts.CPU
+	if c == nil || c.Run == nil {
+		return at
+	}
+	return c.Run(at, c.PerOp+time.Duration(nblocks)*c.PerBlock)
+}
+
+// ---- group geometry ----
+
+func (fs *FS) firstGroupBlock() int64 {
+	return int64(fs.sb.JournalStart) + int64(fs.sb.JournalBlocks)
+}
+
+func (fs *FS) groupStart(g int) int64 {
+	return fs.firstGroupBlock() + int64(g)*int64(fs.sb.BlocksPerGroup)
+}
+
+func (fs *FS) itableStart(g int) int64 { return fs.groupStart(g) + 2 }
+
+func (fs *FS) groupOverhead() int64 {
+	return 2 + int64(fs.sb.InodesPerGroup)/InodesPerBlock
+}
+
+// blockGroup maps an lba to its group, or -1 for layout blocks.
+func (fs *FS) blockGroup(lba int64) int {
+	fg := fs.firstGroupBlock()
+	if lba < fg {
+		return -1
+	}
+	return int((lba - fg) / int64(fs.sb.BlocksPerGroup))
+}
+
+// ---- allocators ----
+
+// allocBlock allocates one data block, preferring the group containing
+// goal (0 = any). The touched bitmap joins the running transaction.
+func (fs *FS) allocBlock(at time.Duration, goal int64) (int64, time.Duration, error) {
+	startGroup := 0
+	if goal > 0 {
+		if g := fs.blockGroup(goal); g >= 0 {
+			startGroup = g
+		}
+	}
+	n := int(fs.sb.GroupCount)
+	for i := 0; i < n; i++ {
+		g := (startGroup + i) % n
+		if fs.groupFreeBlocks[g] == 0 {
+			continue
+		}
+		gStart := fs.groupStart(g)
+		b, done, err := fs.bc.get(at, gStart, false)
+		if err != nil {
+			return 0, done, err
+		}
+		at = done
+		bpg := int(fs.sb.BlocksPerGroup)
+		// Prefer the bit right after goal for contiguous file layout.
+		from := 0
+		if goal > 0 && fs.blockGroup(goal) == g {
+			from = int(goal + 1 - gStart)
+			if from < 0 || from >= bpg {
+				from = 0
+			}
+		}
+		for pass := 0; pass < 2; pass++ {
+			lo, hi := from, bpg
+			if pass == 1 {
+				lo, hi = 0, from
+			}
+			for idx := lo; idx < hi; idx++ {
+				if b.data[idx/8]&(1<<uint(idx%8)) == 0 {
+					b.data[idx/8] |= 1 << uint(idx%8)
+					fs.bc.markDirty(b, true)
+					fs.journal.add(b)
+					fs.groupFreeBlocks[g]--
+					fs.sb.FreeBlocks--
+					return gStart + int64(idx), at, nil
+				}
+			}
+		}
+	}
+	return 0, at, vfs.ErrNoSpace
+}
+
+// freeBlock releases a data block.
+func (fs *FS) freeBlock(at time.Duration, lba int64) (time.Duration, error) {
+	g := fs.blockGroup(lba)
+	if g < 0 || g >= int(fs.sb.GroupCount) {
+		return at, fmt.Errorf("ext3: freeing out-of-range block %d", lba)
+	}
+	gStart := fs.groupStart(g)
+	b, done, err := fs.bc.get(at, gStart, false)
+	if err != nil {
+		return done, err
+	}
+	idx := lba - gStart
+	if b.data[idx/8]&(1<<uint(idx%8)) == 0 {
+		return done, fmt.Errorf("ext3: double free of block %d", lba)
+	}
+	b.data[idx/8] &^= 1 << uint(idx%8)
+	fs.bc.markDirty(b, true)
+	fs.journal.add(b)
+	fs.groupFreeBlocks[g]++
+	fs.sb.FreeBlocks++
+	// Drop any cached content for the freed block.
+	if cb := fs.bc.peek(lba); cb != nil && !cb.meta {
+		fs.bc.cleanData(cb)
+	}
+	return done, nil
+}
+
+// allocInode allocates an inode number. Regular files and symlinks go near
+// goalGroup (their parent directory's group, for locality); directories
+// follow an Orlov-style policy: the first child directory of a parent is
+// placed in a fresh block group (spreading), and subsequent siblings join
+// it (clustering). Spreading gives each level of a nested directory chain
+// its own inode-table block — the two-extra-messages-per-level cold-cache
+// slope of the paper's Figure 4 — while clustering keeps sibling meta-data
+// warm, matching Table 3's depth-independent warm costs.
+func (fs *FS) allocInode(at time.Duration, goalGroup int, dirParent Ino) (Ino, time.Duration, error) {
+	n := int(fs.sb.GroupCount)
+	if dirParent != 0 {
+		g, ok := fs.dirGroup[dirParent]
+		if !ok {
+			fs.lastDirGroup = (fs.lastDirGroup + 1) % n
+			g = fs.lastDirGroup
+			fs.dirGroup[dirParent] = g
+		}
+		goalGroup = g
+	}
+	if goalGroup < 0 || goalGroup >= n {
+		goalGroup = 0
+	}
+	for i := 0; i < n; i++ {
+		g := (goalGroup + i) % n
+		if fs.groupFreeInodes[g] == 0 {
+			continue
+		}
+		b, done, err := fs.bc.get(at, fs.groupStart(g)+1, false)
+		if err != nil {
+			return 0, done, err
+		}
+		at = done
+		ipg := int(fs.sb.InodesPerGroup)
+		for idx := 0; idx < ipg; idx++ {
+			if b.data[idx/8]&(1<<uint(idx%8)) == 0 {
+				b.data[idx/8] |= 1 << uint(idx%8)
+				fs.bc.markDirty(b, true)
+				fs.journal.add(b)
+				fs.groupFreeInodes[g]--
+				fs.sb.FreeInodes--
+				return Ino(g*ipg+idx) + 1, at, nil
+			}
+		}
+	}
+	return 0, at, vfs.ErrNoSpace
+}
+
+// freeInode releases an inode number.
+func (fs *FS) freeInode(at time.Duration, ino Ino) (time.Duration, error) {
+	ipg := int(fs.sb.InodesPerGroup)
+	g := int(ino-1) / ipg
+	idx := int(ino-1) % ipg
+	if g >= int(fs.sb.GroupCount) {
+		return at, fmt.Errorf("ext3: freeing out-of-range inode %d", ino)
+	}
+	b, done, err := fs.bc.get(at, fs.groupStart(g)+1, false)
+	if err != nil {
+		return done, err
+	}
+	b.data[idx/8] &^= 1 << uint(idx%8)
+	fs.bc.markDirty(b, true)
+	fs.journal.add(b)
+	fs.groupFreeInodes[g]++
+	fs.sb.FreeInodes++
+	delete(fs.icache, ino)
+	return done, nil
+}
+
+// ---- inode I/O ----
+
+// inodeLBA returns the inode-table block and byte offset for ino.
+func (fs *FS) inodeLBA(ino Ino) (lba int64, slotOff int, err error) {
+	if ino < 1 || uint32(ino) > fs.sb.InodesCount {
+		return 0, 0, vfs.ErrStale
+	}
+	ipg := int(fs.sb.InodesPerGroup)
+	g := int(ino-1) / ipg
+	idx := int(ino-1) % ipg
+	return fs.itableStart(g) + int64(idx/InodesPerBlock), (idx % InodesPerBlock) * InodeSize, nil
+}
+
+// getInode fetches an inode (icache first, then inode-table block).
+func (fs *FS) getInode(at time.Duration, ino Ino) (*Inode, time.Duration, error) {
+	if n, ok := fs.icache[ino]; ok {
+		return n, at, nil
+	}
+	lba, off, err := fs.inodeLBA(ino)
+	if err != nil {
+		return nil, at, err
+	}
+	b, done, err := fs.bc.get(at, lba, false)
+	if err != nil {
+		return nil, done, err
+	}
+	n := decodeInode(b.data[off : off+InodeSize])
+	fs.icache[ino] = n
+	return n, done, nil
+}
+
+// putInode writes an inode through to its table block and the journal.
+func (fs *FS) putInode(at time.Duration, ino Ino, n *Inode) (time.Duration, error) {
+	lba, off, err := fs.inodeLBA(ino)
+	if err != nil {
+		return at, err
+	}
+	b, done, err := fs.bc.get(at, lba, false)
+	if err != nil {
+		return done, err
+	}
+	encodeInode(n, b.data[off:off+InodeSize])
+	fs.bc.markDirty(b, true)
+	fs.journal.add(b)
+	fs.icache[ino] = n
+	return done, nil
+}
+
+// ---- flushing, commit policy ----
+
+// flushData writes all dirty file-data blocks, coalescing contiguous runs
+// into single device writes (up to MaxCoalesce blocks — the mechanism that
+// produces the ~128 KB mean write request the paper reports in Table 4).
+func (fs *FS) flushData(at time.Duration) (time.Duration, error) {
+	if len(fs.bc.dirtyData) == 0 {
+		return at, nil
+	}
+	lbas := make([]int64, 0, len(fs.bc.dirtyData))
+	for lba := range fs.bc.dirtyData {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(a, b int) bool { return lbas[a] < lbas[b] })
+	// Issue the coalesced runs concurrently: destaging parallelizes across
+	// the array's members, and completion is the slowest run.
+	done := at
+	for i := 0; i < len(lbas); {
+		run := 1
+		for i+run < len(lbas) && lbas[i+run] == lbas[i]+int64(run) && run < fs.opts.MaxCoalesce {
+			run++
+		}
+		buf := make([]byte, run*BlockSize)
+		for k := 0; k < run; k++ {
+			copy(buf[k*BlockSize:], fs.bc.dirtyData[lbas[i+k]].data)
+		}
+		d, err := fs.dev.WriteBlocks(at, lbas[i], buf)
+		if err != nil {
+			return d, err
+		}
+		if d > done {
+			done = d
+		}
+		for k := 0; k < run; k++ {
+			fs.bc.cleanData(fs.bc.dirtyData[lbas[i+k]])
+		}
+		i += run
+	}
+	return done, nil
+}
+
+// dirtyWork reports whether anything needs committing.
+func (fs *FS) dirtyWork() bool {
+	return len(fs.journal.runningOrder) > 0 || len(fs.bc.dirtyData) > 0
+}
+
+// tick applies the commit policy at the end of each operation: a periodic
+// asynchronous commit every CommitInterval (kjournald), plus synchronous
+// throttling when too much dirty data accumulates (pdflush backpressure).
+// With SyncMetadata set, every transaction commits before returning — the
+// NFS server's export mode. Returns the (possibly delayed) caller time.
+func (fs *FS) tick(at time.Duration) (time.Duration, error) {
+	if !fs.dirtyWork() {
+		return at, nil
+	}
+	if fs.opts.SyncMetadata {
+		return fs.journal.commit(at)
+	}
+	if len(fs.bc.dirtyData) > fs.opts.MaxDirtyData {
+		// Throttle the writer synchronously.
+		return fs.journal.commit(at)
+	}
+	if at-fs.journal.lastCommit >= fs.opts.CommitInterval {
+		fs.journal.lastCommit = at
+		done, err := fs.journal.commit(at)
+		if err != nil {
+			return at, err
+		}
+		fs.async.Add(done) // background kjournald: caller does not wait
+	}
+	return at, nil
+}
+
+// Mounted reports whether the filesystem is attached and usable.
+func (fs *FS) Mounted() bool { return fs.mounted }
+
+// Sync commits all dirty state and waits for background work: the
+// fsync/sync(2) analogue and the measurement harness's drain point.
+func (fs *FS) Sync(at time.Duration) (time.Duration, error) {
+	if !fs.mounted {
+		return at, vfs.ErrStale
+	}
+	done, err := fs.journal.commit(at)
+	if err != nil {
+		return done, err
+	}
+	fs.journal.lastCommit = at
+	if h := fs.async.Horizon(); h > done {
+		done = h
+	}
+	return done, nil
+}
+
+// Unmount syncs, checkpoints the journal home, and marks the superblock
+// clean. The FS is unusable afterwards. A crashed filesystem cannot be
+// unmounted — it must be remounted so recovery replays the journal;
+// writing a clean superblock here would silently discard committed state.
+func (fs *FS) Unmount(at time.Duration) (time.Duration, error) {
+	if !fs.mounted {
+		return at, vfs.ErrStale
+	}
+	done, err := fs.Sync(at)
+	if err != nil {
+		return done, err
+	}
+	if done, err = fs.journal.checkpointAll(done); err != nil {
+		return done, err
+	}
+	if done, err = fs.writeGDT(done); err != nil {
+		return done, err
+	}
+	fs.sb.State = sbStateClean
+	if done, err = fs.writeSuperblock(done); err != nil {
+		return done, err
+	}
+	fs.bc.dropAll()
+	fs.icache = make(map[Ino]*Inode)
+	fs.dcache = make(map[dcacheKey]Ino)
+	fs.mounted = false
+	return done, nil
+}
+
+// Crash models a client power failure: all volatile state (caches, the
+// running transaction, dirty data) vanishes. Committed journal records
+// remain on the device for recovery at next mount. The superblock stays
+// dirty, so the next Mount runs recovery.
+func (fs *FS) Crash() {
+	fs.bc.dropAll()
+	fs.icache = make(map[Ino]*Inode)
+	fs.dcache = make(map[dcacheKey]Ino)
+	fs.journal.running = make(map[int64]*buffer)
+	fs.journal.runningOrder = nil
+	fs.journal.unCheckpointed = nil
+	fs.crashed = true
+	fs.mounted = false
+}
+
+// InjectCrashDuringCommit arms (or disarms) a fault: the next commit writes
+// the journal body but "crashes" before the commit record.
+func (fs *FS) InjectCrashDuringCommit(on bool) { fs.journal.failAfterBody = on }
+
+// AsyncHorizon exposes the background-work completion time (for drains).
+func (fs *FS) AsyncHorizon() time.Duration { return fs.async.Horizon() }
+
+// CacheStats reports buffer cache behaviour (tests, ablations).
+func (fs *FS) CacheStats() (hits, misses, evictions int64) {
+	return fs.bc.stats.Hits, fs.bc.stats.Misses, fs.bc.stats.Evictions
+}
+
+// JournalStats reports commit/checkpoint counts.
+func (fs *FS) JournalStats() (commits, checkpoints int64) {
+	return fs.journal.Commits, fs.journal.Checkpoints
+}
+
+// FreeBlocks reports the free-block count (allocator invariant checks).
+func (fs *FS) FreeBlocks() uint64 { return fs.sb.FreeBlocks }
+
+// FreeInodes reports the free-inode count.
+func (fs *FS) FreeInodes() uint64 { return fs.sb.FreeInodes }
+
+// inodeGroupGoal returns a block-allocation goal inside ino's group (used
+// so a directory's data lands in the directory's own group).
+func (fs *FS) inodeGroupGoal(ino Ino) int64 {
+	g := int(ino-1) / int(fs.sb.InodesPerGroup)
+	return fs.groupStart(g) + fs.groupOverhead()
+}

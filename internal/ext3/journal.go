@@ -1,0 +1,274 @@
+package ext3
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Journal block format (JBD-inspired):
+//
+//	descriptor: magic u32 | type=1 u32 | seq u64 | count u32 | count x lba u64
+//	commit:     magic u32 | type=2 u32 | seq u64
+//
+// A committed transaction is descriptor + count frozen block images +
+// commit record, written sequentially into the journal area. The commit
+// record is issued as a separate device write after the body (as JBD does),
+// which is why a single warm meta-data operation costs exactly two wire
+// transactions on an iSCSI volume — the effect behind Table 3.
+const (
+	jMagic      uint32 = 0xC03B3998
+	jDescriptor uint32 = 1
+	jCommitRec  uint32 = 2
+
+	// maxDescEntries bounds homes per descriptor block.
+	maxDescEntries = (BlockSize - 20) / 8
+)
+
+// jtxn is a committed-but-not-checkpointed transaction with frozen images.
+type jtxn struct {
+	seq    uint64
+	homes  []int64
+	images [][]byte
+}
+
+// journal manages the running transaction and the checkpoint list.
+type journal struct {
+	fs    *FS
+	start int64 // first journal block on the device
+	size  int64 // journal length in blocks
+	head  int64 // next free offset within the journal
+	seq   uint64
+
+	running      map[int64]*buffer
+	runningOrder []int64
+
+	unCheckpointed []*jtxn
+	lastCommit     time.Duration
+
+	// commits/checkpoints counters (observability).
+	Commits, Checkpoints int64
+
+	// failAfterBody injects a crash between the journal body write and
+	// the commit record (recovery must then discard the transaction).
+	failAfterBody bool
+}
+
+func newJournal(fs *FS, start, size int64) *journal {
+	return &journal{
+		fs:      fs,
+		start:   start,
+		size:    size,
+		running: make(map[int64]*buffer),
+	}
+}
+
+// add places a dirty meta-data buffer into the running transaction.
+func (j *journal) add(b *buffer) {
+	if _, ok := j.running[b.lba]; !ok {
+		j.running[b.lba] = b
+		j.runningOrder = append(j.runningOrder, b.lba)
+	}
+}
+
+// ErrCrashed is returned by commit when a crash is injected mid-commit.
+var ErrCrashed = fmt.Errorf("ext3: crashed during journal commit")
+
+// commit flushes ordered data, then writes the running transaction to the
+// journal. It returns the time stable storage is reached.
+func (j *journal) commit(at time.Duration) (time.Duration, error) {
+	done := at
+	var err error
+
+	// Ordered data mode: file data reaches disk before the commit record,
+	// so committed meta-data never references unwritten data.
+	done, err = j.fs.flushData(done)
+	if err != nil {
+		return done, err
+	}
+
+	for len(j.runningOrder) > 0 {
+		chunk := len(j.runningOrder)
+		if chunk > maxDescEntries {
+			chunk = maxDescEntries
+		}
+		if j.head+int64(chunk)+2 > j.size {
+			// Not enough contiguous journal space: checkpoint everything
+			// and restart from the beginning of the journal area.
+			done, err = j.checkpointAll(done)
+			if err != nil {
+				return done, err
+			}
+		}
+		lbas := j.runningOrder[:chunk]
+		seq := j.seq + 1
+
+		// Build descriptor + frozen images as one contiguous write.
+		body := make([]byte, (1+chunk)*BlockSize)
+		binary.BigEndian.PutUint32(body[0:], jMagic)
+		binary.BigEndian.PutUint32(body[4:], jDescriptor)
+		binary.BigEndian.PutUint64(body[8:], seq)
+		binary.BigEndian.PutUint32(body[16:], uint32(chunk))
+		txn := &jtxn{seq: seq}
+		for i, lba := range lbas {
+			binary.BigEndian.PutUint64(body[20+8*i:], uint64(lba))
+			b := j.running[lba]
+			img := make([]byte, BlockSize)
+			copy(img, b.data)
+			copy(body[(1+i)*BlockSize:], img)
+			txn.homes = append(txn.homes, lba)
+			txn.images = append(txn.images, img)
+		}
+		done, err = j.fs.dev.WriteBlocks(done, j.start+j.head, body)
+		if err != nil {
+			return done, err
+		}
+		if j.failAfterBody {
+			// Injected crash: body is on disk, commit record is not.
+			return done, ErrCrashed
+		}
+		// Commit record: separate write, after the body (write barrier).
+		cb := make([]byte, BlockSize)
+		binary.BigEndian.PutUint32(cb[0:], jMagic)
+		binary.BigEndian.PutUint32(cb[4:], jCommitRec)
+		binary.BigEndian.PutUint64(cb[8:], seq)
+		done, err = j.fs.dev.WriteBlocks(done, j.start+j.head+int64(chunk)+1, cb)
+		if err != nil {
+			return done, err
+		}
+
+		// Bookkeeping: buffers are clean (their images are durable) but
+		// pinned until checkpointed home.
+		for _, lba := range lbas {
+			b := j.running[lba]
+			b.dirty = false
+			b.pins++
+			delete(j.running, lba)
+		}
+		j.runningOrder = j.runningOrder[chunk:]
+		j.head += int64(chunk) + 2
+		j.seq = seq
+		j.unCheckpointed = append(j.unCheckpointed, txn)
+		j.Commits++
+	}
+	return done, nil
+}
+
+// checkpointAll writes every committed transaction's frozen images home (in
+// sequence order, so later images win), persists the superblock checkpoint
+// sequence, and resets the journal head.
+func (j *journal) checkpointAll(at time.Duration) (time.Duration, error) {
+	done := at
+	if len(j.unCheckpointed) > 0 {
+		// Later transactions override earlier ones per home block.
+		final := make(map[int64][]byte)
+		for _, t := range j.unCheckpointed {
+			for i, h := range t.homes {
+				final[h] = t.images[i]
+			}
+		}
+		lbas := make([]int64, 0, len(final))
+		for h := range final {
+			lbas = append(lbas, h)
+		}
+		sort.Slice(lbas, func(a, b int) bool { return lbas[a] < lbas[b] })
+		// Coalesce contiguous runs and issue them concurrently (checkpoint
+		// writes destage in parallel across array members).
+		for i := 0; i < len(lbas); {
+			run := 1
+			for i+run < len(lbas) && lbas[i+run] == lbas[i]+int64(run) && run < j.fs.opts.MaxCoalesce {
+				run++
+			}
+			buf := make([]byte, run*BlockSize)
+			for k := 0; k < run; k++ {
+				copy(buf[k*BlockSize:], final[lbas[i+k]])
+			}
+			d, err := j.fs.dev.WriteBlocks(at, lbas[i], buf)
+			if err != nil {
+				return d, err
+			}
+			if d > done {
+				done = d
+			}
+			i += run
+		}
+		// Unpin checkpointed buffers.
+		for _, t := range j.unCheckpointed {
+			for _, h := range t.homes {
+				if b := j.fs.bc.peek(h); b != nil && b.pins > 0 {
+					b.pins--
+				}
+			}
+		}
+		j.unCheckpointed = nil
+		j.Checkpoints++
+	}
+	j.fs.sb.LastCheckpointSeq = j.seq
+	var err error
+	done, err = j.fs.writeSuperblock(done)
+	if err != nil {
+		return done, err
+	}
+	j.head = 0
+	return done, nil
+}
+
+// recover scans the journal area and replays committed transactions with
+// sequence numbers beyond the last checkpoint. Returns the number of
+// transactions replayed.
+func recoverJournal(at time.Duration, fs *FS) (replayed int, done time.Duration, err error) {
+	done = at
+	expected := fs.sb.LastCheckpointSeq + 1
+	off := int64(0)
+	start := int64(fs.sb.JournalStart)
+	size := int64(fs.sb.JournalBlocks)
+	blk := make([]byte, BlockSize)
+	for off+2 <= size {
+		done, err = fs.dev.ReadBlocks(done, start+off, blk)
+		if err != nil {
+			return replayed, done, err
+		}
+		if binary.BigEndian.Uint32(blk[0:]) != jMagic ||
+			binary.BigEndian.Uint32(blk[4:]) != jDescriptor ||
+			binary.BigEndian.Uint64(blk[8:]) != expected {
+			break
+		}
+		count := int64(binary.BigEndian.Uint32(blk[16:]))
+		if count <= 0 || count > maxDescEntries || off+count+2 > size {
+			break
+		}
+		homes := make([]int64, count)
+		for i := int64(0); i < count; i++ {
+			homes[i] = int64(binary.BigEndian.Uint64(blk[20+8*i:]))
+		}
+		// Validate the commit record before replaying.
+		cb := make([]byte, BlockSize)
+		done, err = fs.dev.ReadBlocks(done, start+off+count+1, cb)
+		if err != nil {
+			return replayed, done, err
+		}
+		if binary.BigEndian.Uint32(cb[0:]) != jMagic ||
+			binary.BigEndian.Uint32(cb[4:]) != jCommitRec ||
+			binary.BigEndian.Uint64(cb[8:]) != expected {
+			break // crashed mid-commit: discard this and later txns
+		}
+		// Replay: copy images home.
+		images := make([]byte, count*BlockSize)
+		done, err = fs.dev.ReadBlocks(done, start+off+1, images)
+		if err != nil {
+			return replayed, done, err
+		}
+		for i := int64(0); i < count; i++ {
+			done, err = fs.dev.WriteBlocks(done, homes[i], images[i*BlockSize:(i+1)*BlockSize])
+			if err != nil {
+				return replayed, done, err
+			}
+		}
+		replayed++
+		expected++
+		off += count + 2
+	}
+	fs.sb.LastCheckpointSeq = expected - 1
+	return replayed, done, nil
+}

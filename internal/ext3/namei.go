@@ -1,0 +1,200 @@
+package ext3
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// maxSymlinkDepth bounds symlink recursion during resolution.
+const maxSymlinkDepth = 8
+
+// splitPath validates an absolute cleaned path and returns its components.
+func splitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, vfs.ErrInvalid
+	}
+	if p == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(p[1:], "/")
+	for _, c := range parts {
+		if c == "" {
+			return nil, vfs.ErrInvalid
+		}
+		if len(c) > MaxNameLen {
+			return nil, vfs.ErrNameTooLong
+		}
+	}
+	return parts, nil
+}
+
+// dcacheKey identifies a dentry.
+type dcacheKey struct {
+	dir  Ino
+	name string
+}
+
+// ftypeOfMode maps an inode mode to a dirent file type byte.
+func ftypeOfMode(m vfs.Mode) byte {
+	switch m & vfs.TypeMask {
+	case vfs.ModeDir:
+		return FTDir
+	case vfs.ModeSymlink:
+		return FTSymlink
+	default:
+		return FTRegular
+	}
+}
+
+// dirLookup scans directory dirIno for name. Each directory data block and
+// inode-table block touched is fetched through the buffer cache, so cold
+// lookups generate the two-transactions-per-level pattern of Figure 4.
+// A dentry cache short-circuits repeated scans (CPU, not wire traffic: the
+// inode read still goes through the buffer cache).
+func (fs *FS) dirLookup(at time.Duration, dirIno Ino, name string) (Ino, byte, time.Duration, error) {
+	dn, done, err := fs.getInode(at, dirIno)
+	if err != nil {
+		return 0, 0, done, err
+	}
+	if !vfs.Mode(dn.Mode).IsDir() {
+		return 0, 0, done, vfs.ErrNotDir
+	}
+	if ino, ok := fs.dcache[dcacheKey{dirIno, name}]; ok {
+		n, d2, err := fs.getInode(done, ino)
+		if err != nil {
+			delete(fs.dcache, dcacheKey{dirIno, name})
+		} else {
+			return ino, ftypeOfMode(vfs.Mode(n.Mode)), d2, nil
+		}
+	}
+	nblocks := int64((dn.Size + BlockSize - 1) / BlockSize)
+	for fb := int64(0); fb < nblocks; fb++ {
+		lba, d2, err := fs.bmap(done, dn, fb, false, 0)
+		if err != nil {
+			return 0, 0, d2, err
+		}
+		done = d2
+		if lba == 0 {
+			continue
+		}
+		b, d3, err := fs.bc.get(done, lba, false)
+		if err != nil {
+			return 0, 0, d3, err
+		}
+		done = d3
+		if ino, ft, ok := direntFind(b.data, name); ok {
+			fs.dcache[dcacheKey{dirIno, name}] = ino
+			return ino, ft, done, nil
+		}
+	}
+	return 0, 0, done, vfs.ErrNotExist
+}
+
+// namei resolves path to an inode number. followFinal selects whether a
+// symlink in the final component is followed (stat) or returned (lstat,
+// unlink, readlink).
+func (fs *FS) namei(at time.Duration, path string, followFinal bool) (Ino, time.Duration, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, at, err
+	}
+	return fs.walk(at, RootIno, parts, followFinal, 0)
+}
+
+// walk resolves components starting from dir.
+func (fs *FS) walk(at time.Duration, dir Ino, parts []string, followFinal bool, depth int) (Ino, time.Duration, error) {
+	cur := dir
+	done := at
+	for i, comp := range parts {
+		ino, ft, d2, err := fs.dirLookup(done, cur, comp)
+		if err != nil {
+			return 0, d2, err
+		}
+		done = d2
+		final := i == len(parts)-1
+		if ft == FTSymlink && (!final || followFinal) {
+			if depth >= maxSymlinkDepth {
+				return 0, done, vfs.ErrInvalid
+			}
+			target, d3, err := fs.readlinkIno(done, ino)
+			if err != nil {
+				return 0, d3, err
+			}
+			done = d3
+			tparts, base, err := fs.linkParts(target, cur)
+			if err != nil {
+				return 0, done, err
+			}
+			resolved, d4, err := fs.walk(done, base, tparts, true, depth+1)
+			if err != nil {
+				return 0, d4, err
+			}
+			done = d4
+			cur = resolved
+			continue
+		}
+		cur = ino
+	}
+	return cur, done, nil
+}
+
+// linkParts interprets a symlink target relative to dir (or root when
+// absolute) and returns the component list plus starting directory.
+func (fs *FS) linkParts(target string, dir Ino) ([]string, Ino, error) {
+	if target == "" {
+		return nil, 0, vfs.ErrInvalid
+	}
+	if target[0] == '/' {
+		parts, err := splitPath(target)
+		return parts, RootIno, err
+	}
+	parts := strings.Split(target, "/")
+	for _, c := range parts {
+		if c == "" {
+			return nil, 0, vfs.ErrInvalid
+		}
+	}
+	return parts, dir, nil
+}
+
+// nameiParent resolves everything but the final component, returning the
+// parent directory inode and the final name.
+func (fs *FS) nameiParent(at time.Duration, path string) (Ino, string, time.Duration, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, "", at, err
+	}
+	if len(parts) == 0 {
+		return 0, "", at, vfs.ErrInvalid // cannot operate on "/" itself
+	}
+	name := parts[len(parts)-1]
+	if name == "." || name == ".." {
+		return 0, "", at, vfs.ErrInvalid
+	}
+	dir, done, err := fs.walk(at, RootIno, parts[:len(parts)-1], true, 0)
+	if err != nil {
+		return 0, "", done, err
+	}
+	return dir, name, done, nil
+}
+
+// readlinkIno reads a symlink's target from its data block.
+func (fs *FS) readlinkIno(at time.Duration, ino Ino) (string, time.Duration, error) {
+	n, done, err := fs.getInode(at, ino)
+	if err != nil {
+		return "", done, err
+	}
+	if !vfs.Mode(n.Mode).IsSymlink() {
+		return "", done, vfs.ErrInvalid
+	}
+	if n.Direct[0] == 0 || n.Size == 0 || n.Size > BlockSize {
+		return "", done, vfs.ErrIO
+	}
+	b, done, err := fs.bc.get(done, int64(n.Direct[0]), false)
+	if err != nil {
+		return "", done, err
+	}
+	return string(b.data[:n.Size]), done, nil
+}

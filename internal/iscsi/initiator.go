@@ -1,0 +1,207 @@
+package iscsi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scsi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// MaxTransferBlocks caps a single SCSI command's transfer (256 KB of 4 KB
+// blocks), matching the MaxRecvDataSegmentLength we negotiate at login.
+// The filesystem's write coalescing (mean ~128 KB requests, per the paper's
+// Table 4 analysis) fits in one command.
+const MaxTransferBlocks = 64
+
+// Initiator is the client-side iSCSI endpoint. It implements
+// blockdev.Device over the simulated network, so the client's ext3 mounts
+// it like a local disk — the essence of the block-access architecture in
+// the paper's Figure 1(b).
+type Initiator struct {
+	net    *simnet.Network
+	target *Target
+	cpu    *sim.CPU
+	cost   CostModel
+
+	itt       uint32
+	cmdSN     uint32
+	expStatSN uint32
+	loggedIn  bool
+
+	blockSize int
+	numBlocks int64
+}
+
+// DefaultInitiatorCosts returns the iSCSI client path cost (network +
+// initiator driver).
+func DefaultInitiatorCosts() CostModel {
+	return CostModel{PerCommand: 25 * time.Microsecond, PerKB: 4 * time.Microsecond}
+}
+
+// NewInitiator creates an initiator speaking to target over net, charging
+// client CPU demand to cpu (nil for untimed tests).
+func NewInitiator(net *simnet.Network, target *Target, cpu *sim.CPU) *Initiator {
+	return &Initiator{net: net, target: target, cpu: cpu, cost: DefaultInitiatorCosts()}
+}
+
+// SetCosts overrides the client CPU cost model.
+func (i *Initiator) SetCosts(c CostModel) { i.cost = c }
+
+func (i *Initiator) charge(at time.Duration, d time.Duration) time.Duration {
+	if i.cpu == nil {
+		return at
+	}
+	return i.cpu.Run(at, d)
+}
+
+// Login establishes the session and discovers capacity via READ
+// CAPACITY(10). It performs one login exchange and two discovery commands
+// (INQUIRY, READ CAPACITY), as a real initiator does at mount time.
+func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
+	i.itt++
+	req := &PDU{Opcode: OpLoginRequest, ITT: i.itt, CmdSN: i.cmdSN,
+		Data: []byte("InitiatorName=iqn.2004.repro.client\x00SessionType=Normal\x00")}
+	var resp *PDU
+	done, ok := i.net.RoundTrip(at, req.WireSize(), 128, func(arrive time.Duration) time.Duration {
+		r, t := i.target.HandleLogin(arrive, req)
+		resp = r
+		return t
+	})
+	if !ok || resp == nil {
+		return done, fmt.Errorf("iscsi: login failed (network loss)")
+	}
+	i.loggedIn = true
+	i.expStatSN = resp.StatSN
+
+	// INQUIRY
+	if done, _, ok = i.command(done, scsi.Inquiry(96), nil, 96); !ok {
+		return done, fmt.Errorf("iscsi: inquiry lost")
+	}
+	// READ CAPACITY
+	var data []byte
+	done, data, ok = i.command(done, scsi.ReadCapacity10(), nil, 8)
+	if !ok || len(data) < 8 {
+		return done, fmt.Errorf("iscsi: read capacity failed")
+	}
+	var cap8 [8]byte
+	copy(cap8[:], data)
+	last, bs := scsi.ParseCapacityData(cap8)
+	i.numBlocks = int64(last) + 1
+	i.blockSize = int(bs)
+	return done, nil
+}
+
+// command performs one SCSI command round trip; returns completion time,
+// inline Data-In payload, and whether the exchange survived loss injection.
+func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, bool) {
+	i.itt++
+	i.cmdSN++
+	req := &PDU{
+		Opcode:      OpSCSICommand,
+		Flags:       FlagFinal,
+		ITT:         i.itt,
+		CmdSN:       i.cmdSN,
+		ExpStatSN:   i.expStatSN,
+		CDB:         cdb.Encode(),
+		Data:        data,
+		ExpectedLen: uint32(expectIn),
+	}
+	at = i.charge(at, i.cost.PerCommand+time.Duration(len(data)/1024)*i.cost.PerKB)
+	var resp *PDU
+	done, ok := i.net.RoundTrip(at, req.WireSize(), BHSSize+pad4(expectIn), func(arrive time.Duration) time.Duration {
+		r, t := i.target.HandleCommand(arrive, req)
+		resp = r
+		return t
+	})
+	if !ok || resp == nil {
+		return done, nil, false
+	}
+	if resp.Status != scsi.StatusGood {
+		return done, resp.Data, false
+	}
+	i.expStatSN = resp.StatSN
+	if expectIn > 0 {
+		done = i.charge(done, time.Duration(expectIn/1024)*i.cost.PerKB)
+	}
+	return done, resp.Data, true
+}
+
+// BlockSize implements blockdev.Device.
+func (i *Initiator) BlockSize() int {
+	if i.blockSize == 0 {
+		return i.target.Device().BlockSize()
+	}
+	return i.blockSize
+}
+
+// NumBlocks implements blockdev.Device.
+func (i *Initiator) NumBlocks() int64 {
+	if i.numBlocks == 0 {
+		return i.target.Device().NumBlocks()
+	}
+	return i.numBlocks
+}
+
+// ReadBlocks implements blockdev.Device: one READ(10) per MaxTransferBlocks
+// chunk.
+func (i *Initiator) ReadBlocks(start time.Duration, lba int64, buf []byte) (time.Duration, error) {
+	if !i.loggedIn {
+		return start, fmt.Errorf("iscsi: read before login")
+	}
+	bs := i.BlockSize()
+	if len(buf)%bs != 0 {
+		return start, fmt.Errorf("iscsi: read not block-multiple: %d", len(buf))
+	}
+	n := len(buf) / bs
+	at := start
+	for off := 0; off < n; off += MaxTransferBlocks {
+		chunk := n - off
+		if chunk > MaxTransferBlocks {
+			chunk = MaxTransferBlocks
+		}
+		done, data, ok := i.command(at, scsi.Read10(uint32(lba+int64(off)), uint16(chunk)), nil, chunk*bs)
+		if !ok {
+			return done, fmt.Errorf("iscsi: READ(10) failed at lba=%d: %s", lba+int64(off), string(data))
+		}
+		copy(buf[off*bs:], data)
+		at = done
+	}
+	return at, nil
+}
+
+// WriteBlocks implements blockdev.Device: one WRITE(10) per chunk.
+func (i *Initiator) WriteBlocks(start time.Duration, lba int64, data []byte) (time.Duration, error) {
+	if !i.loggedIn {
+		return start, fmt.Errorf("iscsi: write before login")
+	}
+	bs := i.BlockSize()
+	if len(data)%bs != 0 {
+		return start, fmt.Errorf("iscsi: write not block-multiple: %d", len(data))
+	}
+	n := len(data) / bs
+	at := start
+	for off := 0; off < n; off += MaxTransferBlocks {
+		chunk := n - off
+		if chunk > MaxTransferBlocks {
+			chunk = MaxTransferBlocks
+		}
+		done, sense, ok := i.command(at, scsi.Write10(uint32(lba+int64(off)), uint16(chunk)),
+			data[off*bs:(off+chunk)*bs], 0)
+		if !ok {
+			return done, fmt.Errorf("iscsi: WRITE(10) failed at lba=%d: %s", lba+int64(off), string(sense))
+		}
+		at = done
+	}
+	return at, nil
+}
+
+// Flush implements blockdev.Device via SYNCHRONIZE CACHE(10).
+func (i *Initiator) Flush(start time.Duration) (time.Duration, error) {
+	done, sense, ok := i.command(start, scsi.SyncCache10(0, 0), nil, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: SYNCHRONIZE CACHE failed: %s", string(sense))
+	}
+	return done, nil
+}

@@ -1,0 +1,142 @@
+package iscsi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/scsi"
+	"repro/internal/simnet"
+)
+
+func TestPDURoundTrip(t *testing.T) {
+	pdus := []*PDU{
+		{Opcode: OpLoginRequest, ITT: 1, CmdSN: 7, Data: []byte("InitiatorName=x")},
+		{Opcode: OpSCSICommand, Flags: FlagFinal, ITT: 2, CmdSN: 8, ExpStatSN: 3,
+			ExpectedLen: 4096, CDB: scsi.Read10(100, 1).Encode()},
+		{Opcode: OpSCSIResponse, Status: scsi.StatusGood, ITT: 2, StatSN: 4,
+			ExpCmdSN: 9, MaxCmdSN: 73, Data: []byte{1, 2, 3, 4, 5}},
+		{Opcode: OpDataIn, ITT: 2, TTT: 5, DataSN: 1, BufferOff: 8192, Data: make([]byte, 512)},
+		{Opcode: OpLogoutReq, ITT: 3, CmdSN: 10},
+	}
+	for _, p := range pdus {
+		wire := p.Encode()
+		if len(wire) != p.WireSize() {
+			t.Fatalf("wire size mismatch: %d != %d", len(wire), p.WireSize())
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode op %#x: %v", p.Opcode, err)
+		}
+		if got.Opcode != p.Opcode || got.ITT != p.ITT || !bytes.Equal(got.Data, p.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", got, p)
+		}
+		if p.Opcode == OpSCSICommand && got.CDB != p.CDB {
+			t.Fatalf("CDB lost: %v vs %v", got.CDB, p.CDB)
+		}
+	}
+}
+
+// Property: command PDUs round-trip for arbitrary field values.
+func TestQuickCommandPDU(t *testing.T) {
+	f := func(itt, cmdSN, expStatSN, explen uint32, lba uint32, blocks uint16, data []byte) bool {
+		if len(data) > 8192 {
+			data = data[:8192]
+		}
+		p := &PDU{
+			Opcode: OpSCSICommand, Flags: FlagFinal | FlagWrite,
+			ITT: itt, CmdSN: cmdSN, ExpStatSN: expStatSN, ExpectedLen: explen,
+			CDB: scsi.Write10(lba, blocks).Encode(), Data: data,
+		}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return got.ITT == itt && got.CmdSN == cmdSN && got.ExpStatSN == expStatSN &&
+			got.ExpectedLen == explen && got.CDB == p.CDB && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortBufferFails(t *testing.T) {
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short PDU accepted")
+	}
+}
+
+// rig builds an initiator/target pair over an in-memory device.
+func rig(t *testing.T) (*Initiator, *Target, *simnet.Network) {
+	t.Helper()
+	dev := blockdev.NewTestbedArray(8192)
+	target := NewTarget("iqn.test:vol", dev, nil)
+	net := simnet.New(simnet.DefaultLAN())
+	ini := NewInitiator(net, target, nil)
+	if _, err := ini.Login(0); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	return ini, target, net
+}
+
+func TestLoginDiscoversGeometry(t *testing.T) {
+	ini, _, _ := rig(t)
+	if ini.BlockSize() != 4096 {
+		t.Fatalf("block size %d", ini.BlockSize())
+	}
+	if ini.NumBlocks() != 8192 {
+		t.Fatalf("blocks %d", ini.NumBlocks())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	ini, _, _ := rig(t)
+	data := bytes.Repeat([]byte{0xAB, 0xCD}, 4096) // 2 blocks
+	done, err := ini.WriteBlocks(0, 100, data)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := ini.ReadBlocks(done, 100, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted over iSCSI")
+	}
+}
+
+func TestOneCommandPerTransferChunk(t *testing.T) {
+	ini, _, net := rig(t)
+	before := net.Stats().Messages
+	// 128 blocks = 2 chunks of MaxTransferBlocks (64).
+	buf := make([]byte, 128*4096)
+	if _, err := ini.ReadBlocks(0, 0, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := net.Stats().Messages - before; got != 2 {
+		t.Fatalf("128-block read used %d commands, want 2", got)
+	}
+}
+
+func TestWriteBeforeLoginFails(t *testing.T) {
+	dev := blockdev.NewTestbedArray(1024)
+	target := NewTarget("iqn.test:v", dev, nil)
+	ini := NewInitiator(simnet.New(simnet.DefaultLAN()), target, nil)
+	if _, err := ini.WriteBlocks(0, 0, make([]byte, 4096)); err == nil {
+		t.Fatal("write before login accepted")
+	}
+}
+
+func TestInjectedCommandFailure(t *testing.T) {
+	ini, target, _ := rig(t)
+	target.FailCommands = true
+	if _, err := ini.ReadBlocks(0, 0, make([]byte, 4096)); err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	target.FailCommands = false
+	if _, err := ini.ReadBlocks(time.Millisecond, 0, make([]byte, 4096)); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}

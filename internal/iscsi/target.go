@@ -1,0 +1,145 @@
+package iscsi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/scsi"
+	"repro/internal/sim"
+)
+
+// CostModel captures per-request CPU demands. The paper measured the iSCSI
+// server path (network + SCSI server layer + block driver) at roughly half
+// the NFS server path; these constants encode that asymmetry and are shared
+// with the testbed package.
+type CostModel struct {
+	PerCommand time.Duration // fixed cost per SCSI command
+	PerKB      time.Duration // data handling (copy/checksum) per KB
+}
+
+// DefaultTargetCosts returns the iSCSI server path cost: network layer +
+// SCSI server layer + low-level driver (three layer crossings).
+func DefaultTargetCosts() CostModel {
+	return CostModel{PerCommand: 35 * time.Microsecond, PerKB: 4 * time.Microsecond}
+}
+
+// Target is an iSCSI target exposing one LUN backed by a Local device.
+type Target struct {
+	Name string // IQN
+
+	dev  *blockdev.Local
+	cpu  *sim.CPU
+	cost CostModel
+
+	statSN   uint32
+	expCmdSN uint32
+	loggedIn bool
+	// FailCommands injects CHECK CONDITION on every command when set.
+	FailCommands bool
+}
+
+// NewTarget builds a target for dev, charging CPU demands to cpu (which may
+// be nil for untimed unit tests).
+func NewTarget(name string, dev *blockdev.Local, cpu *sim.CPU) *Target {
+	return &Target{Name: name, dev: dev, cpu: cpu, cost: DefaultTargetCosts()}
+}
+
+// SetCosts overrides the CPU cost model.
+func (t *Target) SetCosts(c CostModel) { t.cost = c }
+
+// Device exposes the backing device (tests use it to corrupt/verify bytes).
+func (t *Target) Device() *blockdev.Local { return t.dev }
+
+// charge runs CPU demand and returns the completion time.
+func (t *Target) charge(at time.Duration, d time.Duration) time.Duration {
+	if t.cpu == nil {
+		return at
+	}
+	return t.cpu.Run(at, d)
+}
+
+// HandleLogin processes a login request PDU and returns the response.
+func (t *Target) HandleLogin(at time.Duration, req *PDU) (*PDU, time.Duration) {
+	done := t.charge(at, t.cost.PerCommand)
+	t.loggedIn = true
+	t.statSN++
+	resp := &PDU{
+		Opcode: OpLoginResp,
+		Flags:  FlagFinal,
+		ITT:    req.ITT,
+		StatSN: t.statSN,
+		Data:   []byte("TargetName=" + t.Name + "\x00MaxRecvDataSegmentLength=262144\x00"),
+	}
+	return resp, done
+}
+
+// HandleCommand executes one SCSI command PDU and returns the response PDU
+// (with inline Data-In payload for reads) and the service completion time.
+func (t *Target) HandleCommand(at time.Duration, req *PDU) (*PDU, time.Duration) {
+	if !t.loggedIn {
+		return t.check(req, "target: command before login"), at
+	}
+	cdb, err := scsi.DecodeCDB(req.CDB)
+	if err != nil {
+		return t.check(req, err.Error()), at
+	}
+	if t.FailCommands {
+		return t.check(req, "target: injected command failure"), at
+	}
+	t.expCmdSN = req.CmdSN + 1
+	bs := t.dev.BlockSize()
+	done := t.charge(at, t.cost.PerCommand)
+
+	resp := &PDU{Opcode: OpSCSIResponse, Flags: FlagFinal, ITT: req.ITT, Status: scsi.StatusGood}
+	switch cdb.Op {
+	case scsi.OpTestUnitReady:
+		// nothing to do
+	case scsi.OpInquiry:
+		resp.Data = scsi.InquiryData("REPRO", "SIMVOL")
+	case scsi.OpReadCapacity10:
+		cap := scsi.CapacityData(uint32(t.dev.NumBlocks()-1), uint32(bs))
+		resp.Data = cap[:]
+	case scsi.OpRead10:
+		buf := make([]byte, int(cdb.Length)*bs)
+		done = t.charge(done, time.Duration(len(buf)/1024)*t.cost.PerKB)
+		done, err = t.dev.ReadBlocks(done, int64(cdb.LBA), buf)
+		if err != nil {
+			return t.check(req, err.Error()), done
+		}
+		resp.Data = buf
+	case scsi.OpWrite10:
+		want := int(cdb.Length) * bs
+		if len(req.Data) < want {
+			return t.check(req, fmt.Sprintf("target: short write payload %d < %d", len(req.Data), want)), done
+		}
+		done = t.charge(done, time.Duration(want/1024)*t.cost.PerKB)
+		done, err = t.dev.WriteBlocks(done, int64(cdb.LBA), req.Data[:want])
+		if err != nil {
+			return t.check(req, err.Error()), done
+		}
+	case scsi.OpSyncCache10:
+		done, err = t.dev.Flush(done)
+		if err != nil {
+			return t.check(req, err.Error()), done
+		}
+	default:
+		return t.check(req, fmt.Sprintf("target: unsupported op 0x%02x", cdb.Op)), done
+	}
+	t.statSN++
+	resp.StatSN = t.statSN
+	resp.ExpCmdSN = t.expCmdSN
+	resp.MaxCmdSN = t.expCmdSN + 64
+	return resp, done
+}
+
+// check builds a CHECK CONDITION response carrying sense text.
+func (t *Target) check(req *PDU, msg string) *PDU {
+	return &PDU{
+		Opcode: OpSCSIResponse,
+		Flags:  FlagFinal,
+		ITT:    req.ITT,
+		Status: scsi.StatusCheckCondition,
+		Data:   []byte(msg),
+	}
+}

@@ -1,0 +1,824 @@
+package nfs
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/ext3"
+	"repro/internal/sim"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+// ClientCosts is the client-side CPU demand per RPC. The NFS client is
+// thin — path resolution and caching logic only — which is why the paper
+// measures an order of magnitude less client CPU for NFS than for iSCSI
+// on meta-data workloads (Table 10).
+type ClientCosts struct {
+	PerCall time.Duration
+	PerKB   time.Duration
+}
+
+// DefaultClientCosts returns the client path demand.
+func DefaultClientCosts() ClientCosts {
+	return ClientCosts{PerCall: 18 * time.Microsecond, PerKB: 4 * time.Microsecond}
+}
+
+// dcKey identifies a dentry: (directory inode, name).
+type dcKey struct {
+	dir  uint64
+	name string
+}
+
+// dentry is a cached (positive or negative) name resolution.
+type dentry struct {
+	fh       FH
+	negative bool
+	cachedAt time.Duration
+}
+
+// attrEntry caches attributes with their fetch time.
+type attrEntry struct {
+	st        vfs.Stat
+	fetchedAt time.Duration
+}
+
+// dirListing caches a READDIR result.
+type dirListing struct {
+	ents      []vfs.DirEntry
+	fetchedAt time.Duration
+}
+
+// Client is the NFS client: it implements vfs.FileSystem over RPC.
+type Client struct {
+	ver  Version
+	rpc  *sunrpc.Client
+	srv  *Server
+	cpu  *sim.CPU
+	cost ClientCosts
+
+	rootFH  FH
+	mounted bool
+
+	dc       map[dcKey]*dentry
+	attrs    map[uint64]*attrEntry
+	access   map[uint64]time.Duration // v4 per-directory ACCESS cache
+	listings map[uint64]*dirListing
+	pages    *pageCache
+	files    map[uint64]*fileState
+	wb       *writeBehind
+
+	attrTTL time.Duration
+	dataTTL time.Duration
+
+	// Tunables (exported for ablation benchmarks).
+	ReadAheadPages int // client read-ahead, in pages
+	MaxPendingWrites int // async-write pool bound (pages); beyond it the
+	// client degenerates to pseudo-synchronous writes (Section 4.5)
+	FlushWindow int // in-flight WRITE RPCs during a flush
+}
+
+// NewClient builds a client for ver speaking to srv over rpcc.
+func NewClient(ver Version, rpcc *sunrpc.Client, srv *Server, cpu *sim.CPU) *Client {
+	attrTTL := AttrTimeout
+	if ver == V4 {
+		// The v4 client trusts its caches longer (the protocol's stateful
+		// design anticipates delegation); this reproduces the near-zero
+		// warm-cache counts of Table 3's v4 column.
+		attrTTL = 60 * time.Second
+	}
+	c := &Client{
+		ver:              ver,
+		rpc:              rpcc,
+		srv:              srv,
+		cpu:              cpu,
+		cost:             DefaultClientCosts(),
+		dc:               make(map[dcKey]*dentry),
+		attrs:            make(map[uint64]*attrEntry),
+		access:           make(map[uint64]time.Duration),
+		listings:         make(map[uint64]*dirListing),
+		files:            make(map[uint64]*fileState),
+		pages:            newPageCache(131072), // 512 MB client RAM
+		attrTTL:          attrTTL,
+		dataTTL:          DataTimeout,
+		ReadAheadPages:   16,
+		MaxPendingWrites: 256,
+		FlushWindow:      16,
+	}
+	c.wb = newWriteBehind(c)
+	return c
+}
+
+// Version reports the protocol generation.
+func (c *Client) Version() Version { return c.ver }
+
+// SetCacheCapacity bounds the client page cache (in 4 KB pages), modeling
+// the client machine's memory.
+func (c *Client) SetCacheCapacity(pages int) {
+	if pages > 0 {
+		c.pages.max = pages
+	}
+}
+
+// RPCStats exposes the RPC layer counters.
+func (c *Client) RPCStats() sunrpc.Stats { return c.rpc.Stats() }
+
+// Mount obtains the root filehandle and its attributes (MOUNT + GETATTR +
+// FSINFO in real life; message accounting starts after mount in all
+// experiments, as the paper counts per-syscall traffic).
+func (c *Client) Mount(at time.Duration) (time.Duration, error) {
+	c.rootFH = c.srv.RootFH()
+	st, done, err := c.getattrRPC(at, c.rootFH)
+	if err != nil {
+		return done, err
+	}
+	c.putAttrs(c.rootFH, st, done)
+	c.mounted = true
+	return done, nil
+}
+
+// DropCaches models unmount/remount cache emptying (the cold-cache knob).
+func (c *Client) DropCaches() {
+	c.dc = make(map[dcKey]*dentry)
+	c.attrs = make(map[uint64]*attrEntry)
+	c.access = make(map[uint64]time.Duration)
+	c.listings = make(map[uint64]*dirListing)
+	c.files = make(map[uint64]*fileState)
+	c.pages = newPageCache(c.pages.max)
+	c.wb = newWriteBehind(c)
+}
+
+// charge bills client CPU for one call handling payload bytes.
+func (c *Client) charge(at time.Duration, payload int) time.Duration {
+	if c.cpu == nil {
+		return at
+	}
+	return c.cpu.Run(at, c.cost.PerCall+time.Duration(payload/1024)*c.cost.PerKB)
+}
+
+// call performs one RPC with realistic wire sizes. serve runs at the
+// server and returns its completion time plus the op error (which travels
+// back in the reply status).
+func (c *Client) call(at time.Duration, p Proc, nameLen, argPayload, resPayload int,
+	serve func(arrive time.Duration) (time.Duration, error)) (time.Duration, error) {
+	at = c.charge(at, argPayload)
+	var opErr error
+	done, rpcErr := c.rpc.Call(at, ArgSize(c.ver, p, nameLen, argPayload),
+		func(arrive time.Duration) (int, time.Duration) {
+			fin, err := serve(arrive)
+			opErr = err
+			if err != nil {
+				return ResSize(c.ver, p, 0), fin
+			}
+			return ResSize(c.ver, p, resPayload), fin
+		})
+	if rpcErr != nil {
+		return done, rpcErr
+	}
+	done = c.charge(done, resPayload)
+	return done, opErr
+}
+
+// ---- cache plumbing ----
+
+func (c *Client) putAttrs(fh FH, st vfs.Stat, now time.Duration) {
+	c.attrs[fh.Ino] = &attrEntry{st: st, fetchedAt: now}
+}
+
+func (c *Client) freshAttrs(fh FH, now time.Duration) (*attrEntry, bool) {
+	a := c.attrs[fh.Ino]
+	if a == nil {
+		return nil, false
+	}
+	return a, now-a.fetchedAt <= c.attrTTL
+}
+
+func (c *Client) putDentry(dir FH, name string, fh FH, now time.Duration) {
+	c.dc[dcKey{dir.Ino, name}] = &dentry{fh: fh, cachedAt: now}
+}
+
+func (c *Client) putNegative(dir FH, name string, now time.Duration) {
+	c.dc[dcKey{dir.Ino, name}] = &dentry{negative: true, cachedAt: now}
+}
+
+func (c *Client) dropDentry(dir FH, name string) {
+	delete(c.dc, dcKey{dir.Ino, name})
+}
+
+// getattrRPC fetches attributes over the wire.
+func (c *Client) getattrRPC(at time.Duration, fh FH) (vfs.Stat, time.Duration, error) {
+	var st vfs.Stat
+	done, err := c.call(at, ProcGetattr, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		st, arrive, e = c.srv.Getattr(arrive, fh)
+		return arrive, e
+	})
+	return st, done, err
+}
+
+// accessRPC performs the v4 per-directory ACCESS check when its cache
+// entry is stale — the behaviour behind NFS v4's higher message counts in
+// Table 2 and Figure 4 (the paper's footnote 3).
+func (c *Client) accessRPC(at time.Duration, fh FH) (time.Duration, error) {
+	if c.ver != V4 {
+		return at, nil
+	}
+	if t, ok := c.access[fh.Ino]; ok && at-t <= c.attrTTL {
+		return at, nil
+	}
+	var st vfs.Stat
+	done, err := c.call(at, ProcAccess, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		st, arrive, e = c.srv.Access(arrive, fh)
+		return arrive, e
+	})
+	if err == nil {
+		c.access[fh.Ino] = done
+		c.putAttrs(fh, st, done)
+	}
+	return done, err
+}
+
+// lookupComponent resolves one name in dir using the dentry cache, the
+// attribute-cache revalidation rule, and a LOOKUP RPC on a miss.
+func (c *Client) lookupComponent(at time.Duration, dir FH, name string) (FH, time.Duration, error) {
+	key := dcKey{dir.Ino, name}
+	if d, ok := c.dc[key]; ok {
+		if d.negative {
+			if at-d.cachedAt <= c.attrTTL {
+				return FH{}, at, vfs.ErrNotExist
+			}
+			delete(c.dc, key)
+		} else if _, fresh := c.freshAttrs(d.fh, at); fresh {
+			return d.fh, at, nil // cache hit, no traffic
+		} else {
+			// Stale: one revalidation GETATTR (the consistency check the
+			// paper identifies as NFS's warm-cache overhead).
+			st, done, err := c.getattrRPC(at, d.fh)
+			if err == nil {
+				c.putAttrs(d.fh, st, done)
+				d.cachedAt = done
+				return d.fh, done, nil
+			}
+			if err != vfs.ErrStale && err != vfs.ErrNotExist {
+				return FH{}, done, err
+			}
+			delete(c.dc, key)
+			at = done
+		}
+	}
+	var fh FH
+	var st vfs.Stat
+	done, err := c.call(at, ProcLookup, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		fh, st, arrive, e = c.srv.Lookup(arrive, dir, name)
+		return arrive, e
+	})
+	if err == vfs.ErrNotExist {
+		c.putNegative(dir, name, done)
+		return FH{}, done, err
+	}
+	if err != nil {
+		return FH{}, done, err
+	}
+	c.putDentry(dir, name, fh, done)
+	c.putAttrs(fh, st, done)
+	return fh, done, nil
+}
+
+// resolve walks path to a filehandle. followFinal controls symlink
+// handling on the last component. v4 performs its ACCESS checks on every
+// directory traversed, starting with the root.
+func (c *Client) resolve(at time.Duration, path string, followFinal bool) (FH, time.Duration, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return FH{}, at, err
+	}
+	return c.walk(at, c.rootFH, parts, followFinal, 0)
+}
+
+func (c *Client) walk(at time.Duration, start FH, parts []string, followFinal bool, depth int) (FH, time.Duration, error) {
+	cur := start
+	done := at
+	var err error
+	if done, err = c.accessRPC(done, cur); err != nil {
+		return FH{}, done, err
+	}
+	for i, comp := range parts {
+		var fh FH
+		fh, done, err = c.lookupComponent(done, cur, comp)
+		if err != nil {
+			return FH{}, done, err
+		}
+		final := i == len(parts)-1
+		st := c.attrs[fh.Ino]
+		isLink := st != nil && st.st.Mode.IsSymlink()
+		if isLink && (!final || followFinal) {
+			if depth >= maxSymlinkDepth {
+				return FH{}, done, vfs.ErrInvalid
+			}
+			var target string
+			target, done, err = c.readlinkRPC(done, fh)
+			if err != nil {
+				return FH{}, done, err
+			}
+			tparts, base, err := c.linkBase(target, cur)
+			if err != nil {
+				return FH{}, done, err
+			}
+			fh, done, err = c.walk(done, base, tparts, true, depth+1)
+			if err != nil {
+				return FH{}, done, err
+			}
+		}
+		cur = fh
+		if !final {
+			if done, err = c.accessRPC(done, cur); err != nil {
+				return FH{}, done, err
+			}
+		} else if st != nil && st.st.Mode.IsDir() {
+			// v4 checks access on a directory target too.
+			if done, err = c.accessRPC(done, cur); err != nil {
+				return FH{}, done, err
+			}
+		}
+	}
+	return cur, done, nil
+}
+
+func (c *Client) linkBase(target string, dir FH) ([]string, FH, error) {
+	if target == "" {
+		return nil, FH{}, vfs.ErrInvalid
+	}
+	if target[0] == '/' {
+		parts, err := splitPath(target)
+		return parts, c.rootFH, err
+	}
+	parts := strings.Split(target, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, FH{}, vfs.ErrInvalid
+		}
+	}
+	return parts, dir, nil
+}
+
+// resolveParent resolves the directory containing path's final component.
+func (c *Client) resolveParent(at time.Duration, path string) (FH, string, time.Duration, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return FH{}, "", at, err
+	}
+	if len(parts) == 0 {
+		return FH{}, "", at, vfs.ErrInvalid
+	}
+	name := parts[len(parts)-1]
+	if name == "." || name == ".." {
+		return FH{}, "", at, vfs.ErrInvalid
+	}
+	dir, done, err := c.walk(at, c.rootFH, parts[:len(parts)-1], true, 0)
+	if err != nil {
+		return FH{}, "", done, err
+	}
+	return dir, name, done, nil
+}
+
+func (c *Client) readlinkRPC(at time.Duration, fh FH) (string, time.Duration, error) {
+	var target string
+	done, err := c.call(at, ProcReadlink, 0, 0, 64, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		target, arrive, e = c.srv.Readlink(arrive, fh)
+		return arrive, e
+	})
+	return target, done, err
+}
+
+// splitPath mirrors the ext3 path validation.
+func splitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, vfs.ErrInvalid
+	}
+	if p == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(p[1:], "/")
+	for _, c := range parts {
+		if c == "" {
+			return nil, vfs.ErrInvalid
+		}
+		if len(c) > 255 {
+			return nil, vfs.ErrNameTooLong
+		}
+	}
+	return parts, nil
+}
+
+const maxSymlinkDepth = 8
+
+// invalidateDir drops cached state for a directory whose content changed.
+func (c *Client) invalidateDir(dir FH) {
+	delete(c.listings, dir.Ino)
+}
+
+// ---- namespace operations (vfs.FileSystem) ----
+
+// Mkdir implements vfs.FileSystem.
+func (c *Client) Mkdir(at time.Duration, path string, mode vfs.Mode) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	dir, name, done, err := c.resolveParent(at, path)
+	if err != nil {
+		return done, err
+	}
+	// The client looks the name up first (a negative LOOKUP on success).
+	if _, d2, err := c.lookupComponent(done, dir, name); err == nil {
+		return d2, vfs.ErrExist
+	} else if err != vfs.ErrNotExist {
+		return d2, err
+	} else {
+		done = d2
+	}
+	var fh FH
+	var st vfs.Stat
+	done, err = c.call(done, ProcMkdir, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		fh, st, arrive, e = c.srv.Mkdir(arrive, dir, name, mode)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.putDentry(dir, name, fh, done)
+	c.putAttrs(fh, st, done)
+	c.invalidateDir(dir)
+	if c.ver == V4 {
+		// Post-op attribute refresh (observed v4 client behaviour).
+		if st2, d2, err := c.getattrRPC(done, fh); err == nil {
+			c.putAttrs(fh, st2, d2)
+			done = d2
+		}
+	}
+	return done, nil
+}
+
+// Rmdir implements vfs.FileSystem.
+func (c *Client) Rmdir(at time.Duration, path string) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	dir, name, done, err := c.resolveParent(at, path)
+	if err != nil {
+		return done, err
+	}
+	fh, done, err := c.lookupComponent(done, dir, name)
+	if err != nil {
+		return done, err
+	}
+	done, err = c.call(done, ProcRmdir, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		arrive, e = c.srv.Rmdir(arrive, dir, name)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.dropDentry(dir, name)
+	delete(c.attrs, fh.Ino)
+	delete(c.listings, fh.Ino)
+	c.invalidateDir(dir)
+	return done, nil
+}
+
+// Symlink implements vfs.FileSystem.
+func (c *Client) Symlink(at time.Duration, target, path string) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	dir, name, done, err := c.resolveParent(at, path)
+	if err != nil {
+		return done, err
+	}
+	if _, d2, err := c.lookupComponent(done, dir, name); err == nil {
+		return d2, vfs.ErrExist
+	} else if err != vfs.ErrNotExist {
+		return d2, err
+	} else {
+		done = d2
+	}
+	var fh FH
+	var st vfs.Stat
+	done, err = c.call(done, ProcSymlink, len(name), len(target), 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		fh, st, arrive, e = c.srv.Symlink(arrive, dir, name, target)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.putDentry(dir, name, fh, done)
+	c.putAttrs(fh, st, done)
+	c.invalidateDir(dir)
+	if c.ver == V2 {
+		// The v2 client follows SYMLINK with a LOOKUP (no post-op attrs
+		// in the v2 reply), matching its extra message in Table 2.
+		if fh2, d2, err := c.lookupComponent(done, dir, name); err == nil {
+			_ = fh2
+			done = d2
+		}
+	}
+	return done, nil
+}
+
+// Readlink implements vfs.FileSystem.
+func (c *Client) Readlink(at time.Duration, path string) (string, time.Duration, error) {
+	if !c.mounted {
+		return "", at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, false)
+	if err != nil {
+		return "", done, err
+	}
+	return c.readlinkRPC(done, fh)
+}
+
+// Link implements vfs.FileSystem.
+func (c *Client) Link(at time.Duration, oldpath, newpath string) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	target, done, err := c.resolve(at, oldpath, false)
+	if err != nil {
+		return done, err
+	}
+	dir, name, done, err := c.resolveParent(done, newpath)
+	if err != nil {
+		return done, err
+	}
+	if _, d2, err := c.lookupComponent(done, dir, name); err == nil {
+		return d2, vfs.ErrExist
+	} else if err != vfs.ErrNotExist {
+		return d2, err
+	} else {
+		done = d2
+	}
+	var st vfs.Stat
+	done, err = c.call(done, ProcLink, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		st, arrive, e = c.srv.Link(arrive, target, dir, name)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.putDentry(dir, name, FH{Ino: st.Ino}, done)
+	c.putAttrs(FH{Ino: st.Ino}, st, done)
+	c.invalidateDir(dir)
+	// Post-op attribute refresh of the link target (Linux behaviour).
+	if st2, d2, err := c.getattrRPC(done, target); err == nil {
+		c.putAttrs(target, st2, d2)
+		done = d2
+	}
+	return done, nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (c *Client) Unlink(at time.Duration, path string) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	dir, name, done, err := c.resolveParent(at, path)
+	if err != nil {
+		return done, err
+	}
+	fh, done, err := c.lookupComponent(done, dir, name)
+	if err != nil {
+		return done, err
+	}
+	done, err = c.call(done, ProcRemove, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		arrive, e = c.srv.Remove(arrive, dir, name)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.dropDentry(dir, name)
+	delete(c.attrs, fh.Ino)
+	c.wb.dropFile(fh.Ino)
+	c.pages.dropFile(fh.Ino)
+	c.invalidateDir(dir)
+	return done, nil
+}
+
+// Rename implements vfs.FileSystem.
+func (c *Client) Rename(at time.Duration, oldpath, newpath string) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	odir, oname, done, err := c.resolveParent(at, oldpath)
+	if err != nil {
+		return done, err
+	}
+	fh, done, err := c.lookupComponent(done, odir, oname)
+	if err != nil {
+		return done, err
+	}
+	ndir, nname, done, err := c.resolveParent(done, newpath)
+	if err != nil {
+		return done, err
+	}
+	// LOOKUP of the destination (usually negative).
+	if _, d2, err := c.lookupComponent(done, ndir, nname); err == nil || err == vfs.ErrNotExist {
+		done = d2
+	} else {
+		return d2, err
+	}
+	done, err = c.call(done, ProcRename, len(oname)+len(nname), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		arrive, e = c.srv.Rename(arrive, odir, oname, ndir, nname)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.dropDentry(odir, oname)
+	c.putDentry(ndir, nname, fh, done)
+	c.invalidateDir(odir)
+	c.invalidateDir(ndir)
+	// Post-op refresh of the moved object.
+	if st, d2, err := c.getattrRPC(done, fh); err == nil {
+		c.putAttrs(fh, st, d2)
+		done = d2
+	}
+	return done, nil
+}
+
+// ReadDir implements vfs.FileSystem, with listing caching: a warm readdir
+// costs only the revalidation GETATTR (Table 3's readdir row).
+func (c *Client) ReadDir(at time.Duration, path string) ([]vfs.DirEntry, time.Duration, error) {
+	if !c.mounted {
+		return nil, at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, true)
+	if err != nil {
+		return nil, done, err
+	}
+	if l, ok := c.listings[fh.Ino]; ok && done-l.fetchedAt <= c.dataTTL {
+		// Listing cached; resolution already revalidated attributes.
+		return l.ents, done, nil
+	}
+	var ents []vfs.DirEntry
+	plus := c.ver >= V3
+	payload := 0
+	done, err = c.call(done, ProcReaddir, 0, 0, payload, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		ents, arrive, e = c.srv.Readdir(arrive, fh, plus)
+		for _, ent := range ents {
+			payload += readdirEntrySize(c.ver, len(ent.Name))
+		}
+		return arrive, e
+	})
+	if err != nil {
+		return nil, done, err
+	}
+	c.listings[fh.Ino] = &dirListing{ents: ents, fetchedAt: done}
+	if plus {
+		// READDIRPLUS primes the dentry and attribute caches.
+		for _, ent := range ents {
+			c.putDentry(fh, ent.Name, FH{Ino: ent.Ino}, done)
+		}
+	}
+	return ents, done, nil
+}
+
+// Stat implements vfs.FileSystem.
+func (c *Client) Stat(at time.Duration, path string) (vfs.Stat, time.Duration, error) {
+	if !c.mounted {
+		return vfs.Stat{}, at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, true)
+	if err != nil {
+		return vfs.Stat{}, done, err
+	}
+	// stat(2) fetches attributes even when the cache is fresh for v2/v3
+	// (observed client behaviour: a GETATTR accompanies the syscall).
+	if c.ver != V4 {
+		st, d2, err := c.getattrRPC(done, fh)
+		if err != nil {
+			return vfs.Stat{}, d2, err
+		}
+		c.putAttrs(fh, st, d2)
+		return st, d2, nil
+	}
+	if a, fresh := c.freshAttrs(fh, done); fresh {
+		return a.st, done, nil
+	}
+	st, done, err := c.getattrRPC(done, fh)
+	if err != nil {
+		return vfs.Stat{}, done, err
+	}
+	c.putAttrs(fh, st, done)
+	return st, done, nil
+}
+
+// setattr sends SETATTR plus the post-op GETATTR the Linux client issues
+// for mode/owner/size changes.
+func (c *Client) setattr(at time.Duration, path string, sa ext3.SetAttr, postGetattr bool) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, true)
+	if err != nil {
+		return done, err
+	}
+	var st vfs.Stat
+	done, err = c.call(done, ProcSetattr, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		st, arrive, e = c.srv.Setattr(arrive, fh, sa)
+		return arrive, e
+	})
+	if err != nil {
+		return done, err
+	}
+	c.putAttrs(fh, st, done)
+	if postGetattr {
+		if st2, d2, err := c.getattrRPC(done, fh); err == nil {
+			c.putAttrs(fh, st2, d2)
+			done = d2
+		}
+	}
+	return done, nil
+}
+
+// Chmod implements vfs.FileSystem.
+func (c *Client) Chmod(at time.Duration, path string, mode vfs.Mode) (time.Duration, error) {
+	m := mode
+	return c.setattr(at, path, ext3.SetAttr{Mode: &m}, true)
+}
+
+// Chown implements vfs.FileSystem.
+func (c *Client) Chown(at time.Duration, path string, uid, gid uint32) (time.Duration, error) {
+	return c.setattr(at, path, ext3.SetAttr{UID: &uid, GID: &gid}, true)
+}
+
+// Utimes implements vfs.FileSystem.
+func (c *Client) Utimes(at time.Duration, path string, atime, mtime time.Duration) (time.Duration, error) {
+	return c.setattr(at, path, ext3.SetAttr{Atime: &atime, Mtime: &mtime}, false)
+}
+
+// Truncate implements vfs.FileSystem.
+func (c *Client) Truncate(at time.Duration, path string, size int64) (time.Duration, error) {
+	s := size
+	done, err := c.setattr(at, path, ext3.SetAttr{Size: &s}, true)
+	if err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// Access implements vfs.FileSystem: v3/v4 use the ACCESS procedure, v2
+// falls back to GETATTR-based permission checking.
+func (c *Client) Access(at time.Duration, path string, _ int) (time.Duration, error) {
+	if !c.mounted {
+		return at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, true)
+	if err != nil {
+		return done, err
+	}
+	if c.ver == V2 {
+		st, d2, err := c.getattrRPC(done, fh)
+		if err != nil {
+			return d2, err
+		}
+		c.putAttrs(fh, st, d2)
+		return d2, nil
+	}
+	var st vfs.Stat
+	done, err = c.call(done, ProcAccess, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+		var e error
+		st, arrive, e = c.srv.Access(arrive, fh)
+		return arrive, e
+	})
+	if err == nil {
+		c.putAttrs(fh, st, done)
+	}
+	return done, err
+}
+
+// Sync implements vfs.FileSystem: flush the write-behind pool and COMMIT.
+func (c *Client) Sync(at time.Duration) (time.Duration, error) {
+	return c.wb.drain(at)
+}
+
+// Unmount implements vfs.FileSystem.
+func (c *Client) Unmount(at time.Duration) (time.Duration, error) {
+	done, err := c.wb.drain(at)
+	if err != nil {
+		return done, err
+	}
+	c.DropCaches()
+	c.mounted = false
+	return done, nil
+}

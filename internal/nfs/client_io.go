@@ -1,0 +1,761 @@
+package nfs
+
+import (
+	"container/list"
+	"time"
+
+	"repro/internal/ext3"
+	"repro/internal/vfs"
+)
+
+// pageSize is the client page cache granularity (4 KB, like Linux).
+const pageSize = 4096
+
+type pageKey struct {
+	ino uint64
+	idx int64
+}
+
+type page struct {
+	key     pageKey
+	data    []byte
+	dirty   bool
+	readyAt time.Duration
+	elem    *list.Element
+}
+
+// pageCache is the client's file data cache with LRU eviction; dirty pages
+// are pinned until the write-behind pool flushes them.
+type pageCache struct {
+	max   int
+	pages map[pageKey]*page
+	lru   *list.List
+}
+
+func newPageCache(max int) *pageCache {
+	return &pageCache{max: max, pages: make(map[pageKey]*page), lru: list.New()}
+}
+
+func (pc *pageCache) peek(k pageKey) *page { return pc.pages[k] }
+
+func (pc *pageCache) insert(k pageKey, data []byte, readyAt time.Duration) *page {
+	if p, ok := pc.pages[k]; ok {
+		copy(p.data, data)
+		if readyAt > p.readyAt {
+			p.readyAt = readyAt
+		}
+		pc.lru.MoveToFront(p.elem)
+		return p
+	}
+	p := &page{key: k, data: make([]byte, pageSize), readyAt: readyAt}
+	copy(p.data, data)
+	p.elem = pc.lru.PushFront(p)
+	pc.pages[k] = p
+	pc.evict()
+	return p
+}
+
+func (pc *pageCache) getOrCreate(k pageKey) *page {
+	if p, ok := pc.pages[k]; ok {
+		pc.lru.MoveToFront(p.elem)
+		return p
+	}
+	return pc.insert(k, nil, 0)
+}
+
+func (pc *pageCache) evict() {
+	for len(pc.pages) > pc.max {
+		evicted := false
+		for e := pc.lru.Back(); e != nil; e = e.Prev() {
+			p := e.Value.(*page)
+			if p.dirty {
+				continue
+			}
+			pc.lru.Remove(e)
+			delete(pc.pages, p.key)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+func (pc *pageCache) dropFile(ino uint64) {
+	for k, p := range pc.pages {
+		if k.ino == ino {
+			pc.lru.Remove(p.elem)
+			delete(pc.pages, k)
+		}
+	}
+}
+
+// fileState tracks per-file read-ahead and validation.
+type fileState struct {
+	raNext       int64
+	raWindow     int
+	raPrefetched int64
+}
+
+func (c *Client) fileState(ino uint64) *fileState {
+	fsx, ok := c.files[ino]
+	if !ok {
+		fsx = &fileState{raWindow: 4}
+		c.files[ino] = fsx
+	}
+	return fsx
+}
+
+// writeBehind is the client's bounded async-write pool. Dirty pages queue
+// here; flushes issue unstable WRITE RPCs with a bounded in-flight window.
+// When the pool overflows, the writer blocks until in-flight writes finish
+// — the pseudo-synchronous degeneration the paper identifies as the cause
+// of NFS's poor write performance (Section 4.5, Table 4, Figure 6b).
+type writeBehind struct {
+	c        *Client
+	queue    []pageKey
+	queued   map[pageKey]bool
+	inflight []time.Duration // completion times of recent WRITE RPCs
+	horizon  time.Duration
+	issued   int // pages issued since the last stall/drain
+	dirtySinceCommit bool
+
+	// pseudoSync latches once the pool has overflowed: from then on the
+	// write-back cache has degenerated and flushes proceed with a serial
+	// window, the behaviour the paper diagnoses in Section 4.5.
+	pseudoSync bool
+
+	// flushTrigger starts background flushing once this many pages queue.
+	flushTrigger int
+}
+
+func newWriteBehind(c *Client) *writeBehind {
+	return &writeBehind{c: c, queued: make(map[pageKey]bool), flushTrigger: 64}
+}
+
+func (wb *writeBehind) add(k pageKey) {
+	if !wb.queued[k] {
+		wb.queued[k] = true
+		wb.queue = append(wb.queue, k)
+	}
+	wb.dirtySinceCommit = true
+}
+
+func (wb *writeBehind) dropFile(ino uint64) {
+	var keep []pageKey
+	for _, k := range wb.queue {
+		if k.ino == ino {
+			delete(wb.queued, k)
+			continue
+		}
+		keep = append(keep, k)
+	}
+	wb.queue = keep
+}
+
+// maybeFlush applies the background flush and pool-overflow policies,
+// returning the (possibly delayed) caller time.
+func (wb *writeBehind) maybeFlush(at time.Duration) (time.Duration, error) {
+	if len(wb.queue) >= wb.flushTrigger {
+		if err := wb.issueAll(at); err != nil {
+			return at, err
+		}
+		if wb.pseudoSync {
+			// Degenerated write-through: the writer rides the flush.
+			if wb.horizon > at {
+				at = wb.horizon
+			}
+		}
+	}
+	if wb.issued > wb.c.MaxPendingWrites {
+		// Pool exhausted: the writer stalls until in-flight RPCs drain,
+		// and the cache stays degenerate for the rest of the stream.
+		wb.pseudoSync = true
+		if wb.horizon > at {
+			at = wb.horizon
+		}
+		wb.issued = 0
+		wb.inflight = nil
+	}
+	return at, nil
+}
+
+// window returns the in-flight WRITE window: bounded normally, serial once
+// the pool has degenerated.
+func (wb *writeBehind) window() int {
+	if wb.pseudoSync {
+		return 1
+	}
+	return wb.c.FlushWindow
+}
+
+// issueAll sends WRITE RPCs for every queued dirty page, coalescing
+// contiguous pages of a file into transfer-size requests and pipelining
+// with a bounded window. The caller's clock does not advance (the RPCs are
+// asynchronous); completion feeds the horizon.
+func (wb *writeBehind) issueAll(at time.Duration) error {
+	c := wb.c
+	maxPages := TransferSize(c.ver) / pageSize
+	if wb.pseudoSync {
+		// Degenerate mode flushes page-at-a-time (the paper observed a
+		// 4.7 KB mean request size — essentially one page per RPC).
+		maxPages = 1
+	}
+	i := 0
+	for i < len(wb.queue) {
+		k := wb.queue[i]
+		run := 1
+		for i+run < len(wb.queue) {
+			nk := wb.queue[i+run]
+			if nk.ino != k.ino || nk.idx != k.idx+int64(run) || run >= maxPages {
+				break
+			}
+			run++
+		}
+		// Assemble payload from the page cache, clamping the final page to
+		// the file size so flushing never extends the file.
+		data := make([]byte, 0, run*pageSize)
+		for j := 0; j < run; j++ {
+			p := c.pages.peek(pageKey{k.ino, k.idx + int64(j)})
+			if p == nil {
+				data = append(data, make([]byte, pageSize)...)
+				continue
+			}
+			data = append(data, p.data...)
+		}
+		if size := c.cachedSize(FH{Ino: k.ino}); size > 0 {
+			off := k.idx * pageSize
+			if off >= size {
+				// Stale pages beyond a truncation: drop them.
+				for j := 0; j < run; j++ {
+					pk := pageKey{k.ino, k.idx + int64(j)}
+					delete(wb.queued, pk)
+					if p := c.pages.peek(pk); p != nil {
+						p.dirty = false
+					}
+				}
+				i += run
+				continue
+			}
+			if off+int64(len(data)) > size {
+				data = data[:size-off]
+			}
+		}
+		start := at
+		if w := wb.window(); len(wb.inflight) >= w {
+			if t := wb.inflight[len(wb.inflight)-w]; t > start {
+				start = t
+			}
+		}
+		fh := FH{Ino: k.ino}
+		off := k.idx * pageSize
+		stable := c.ver == V2
+		var st vfs.Stat
+		done, err := c.call(start, ProcWrite, 0, len(data), 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			st, arrive, e = c.srv.Write(arrive, fh, off, data, stable)
+			return arrive, e
+		})
+		if err != nil {
+			return err
+		}
+		// Track our own writes' post-op attributes so the next
+		// revalidation does not mistake them for a foreign change and
+		// dump the page cache.
+		if a := c.attrs[k.ino]; a != nil {
+			if st.Size < a.st.Size {
+				st.Size = a.st.Size // later queued pages not yet flushed
+			}
+			c.putAttrs(fh, st, a.fetchedAt)
+		}
+		wb.inflight = append(wb.inflight, done)
+		if len(wb.inflight) > 64 {
+			wb.inflight = wb.inflight[len(wb.inflight)-64:]
+		}
+		if done > wb.horizon {
+			wb.horizon = done
+		}
+		wb.issued += run
+		for j := 0; j < run; j++ {
+			pk := pageKey{k.ino, k.idx + int64(j)}
+			delete(wb.queued, pk)
+			if p := c.pages.peek(pk); p != nil {
+				p.dirty = false
+			}
+		}
+		i += run
+	}
+	wb.queue = wb.queue[:0]
+	return nil
+}
+
+// drain flushes everything and issues COMMIT (v3/v4), returning when all
+// data is durable at the server.
+func (wb *writeBehind) drain(at time.Duration) (time.Duration, error) {
+	c := wb.c
+	if err := wb.issueAll(at); err != nil {
+		return at, err
+	}
+	done := at
+	if wb.horizon > done {
+		done = wb.horizon
+	}
+	wb.issued = 0
+	wb.inflight = nil
+	if c.ver >= V3 && wb.dirtySinceCommit {
+		var err error
+		done, err = c.call(done, ProcCommit, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			return c.srv.Commit(arrive, c.rootFH)
+		})
+		if err != nil {
+			return done, err
+		}
+		wb.dirtySinceCommit = false
+	}
+	return done, nil
+}
+
+// ---- file open/create ----
+
+// nfsFile is an open file handle at the client.
+type nfsFile struct {
+	c  *Client
+	fh FH
+}
+
+// Create implements vfs.FileSystem (creat(2)).
+func (c *Client) Create(at time.Duration, path string, mode vfs.Mode) (vfs.File, time.Duration, error) {
+	if !c.mounted {
+		return nil, at, vfs.ErrStale
+	}
+	dir, name, done, err := c.resolveParent(at, path)
+	if err != nil {
+		return nil, done, err
+	}
+	// Negative LOOKUP precedes creation.
+	if _, d2, err := c.lookupComponent(done, dir, name); err == nil || err == vfs.ErrNotExist {
+		done = d2
+	} else {
+		return nil, d2, err
+	}
+	var fh FH
+	var st vfs.Stat
+	if c.ver == V4 {
+		// v4: OPEN(create) + OPEN_CONFIRM + SETATTR + attribute refreshes
+		// (the Linux/UMich client's observed chattiness).
+		done, err = c.call(done, ProcOpen, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			fh, st, arrive, e = c.srv.Open(arrive, dir, name, true, mode)
+			return arrive, e
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		done, err = c.call(done, ProcOpenConfirm, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			return c.srv.OpenConfirm(arrive)
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		zero := int64(0)
+		done, err = c.call(done, ProcSetattr, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			st, arrive, e = c.srv.Setattr(arrive, fh, ext3.SetAttr{Size: &zero})
+			return arrive, e
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		for i := 0; i < 2; i++ {
+			if st2, d2, err := c.getattrRPC(done, fh); err == nil {
+				st = st2
+				done = d2
+			}
+		}
+	} else {
+		done, err = c.call(done, ProcCreate, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			fh, st, arrive, e = c.srv.Create(arrive, dir, name, mode)
+			return arrive, e
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		// creat(2) truncates: the client issues SETATTR(size=0).
+		zero := int64(0)
+		done, err = c.call(done, ProcSetattr, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			st, arrive, e = c.srv.Setattr(arrive, fh, ext3.SetAttr{Size: &zero})
+			return arrive, e
+		})
+		if err != nil {
+			return nil, done, err
+		}
+	}
+	c.putDentry(dir, name, fh, done)
+	c.putAttrs(fh, st, done)
+	c.invalidateDir(dir)
+	c.pages.dropFile(fh.Ino)
+	return &nfsFile{c: c, fh: fh}, done, nil
+}
+
+// Open implements vfs.FileSystem.
+func (c *Client) Open(at time.Duration, path string) (vfs.File, time.Duration, error) {
+	if !c.mounted {
+		return nil, at, vfs.ErrStale
+	}
+	fh, done, err := c.resolve(at, path, true)
+	if err != nil {
+		return nil, done, err
+	}
+	if a := c.attrs[fh.Ino]; a != nil && a.st.Mode.IsDir() {
+		return nil, done, vfs.ErrIsDir
+	}
+	if c.ver == V4 {
+		// Stateful open: OPEN + OPEN_CONFIRM.
+		dir, name, d2, err := c.resolveParent(done, path)
+		if err != nil {
+			return nil, d2, err
+		}
+		done = d2
+		var st vfs.Stat
+		done, err = c.call(done, ProcOpen, len(name), 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			fh, st, arrive, e = c.srv.Open(arrive, dir, name, false, 0)
+			return arrive, e
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		done, err = c.call(done, ProcOpenConfirm, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			return c.srv.OpenConfirm(arrive)
+		})
+		if err != nil {
+			return nil, done, err
+		}
+		c.putAttrs(fh, st, done)
+		return &nfsFile{c: c, fh: fh}, done, nil
+	}
+	// Close-to-open consistency: open(2) revalidates attributes unless
+	// they were fetched this instant.
+	if _, fresh := c.freshAttrs(fh, done); !fresh {
+		st, d2, err := c.getattrRPC(done, fh)
+		if err != nil {
+			return nil, d2, err
+		}
+		c.putAttrs(fh, st, d2)
+		done = d2
+	} else if c.ver <= V3 {
+		st, d2, err := c.getattrRPC(done, fh)
+		if err != nil {
+			return nil, d2, err
+		}
+		c.putAttrs(fh, st, d2)
+		done = d2
+	}
+	return &nfsFile{c: c, fh: fh}, done, nil
+}
+
+// ---- file I/O ----
+
+// cachedSize returns the client's view of the file size.
+func (c *Client) cachedSize(fh FH) int64 {
+	if a := c.attrs[fh.Ino]; a != nil {
+		return a.st.Size
+	}
+	return 0
+}
+
+// revalidate refreshes attributes when the consistency window expired; on
+// an mtime change the cached pages are invalidated (weak consistency).
+func (c *Client) revalidate(at time.Duration, fh FH) (time.Duration, error) {
+	a, fresh := c.freshAttrs(fh, at)
+	if fresh {
+		return at, nil
+	}
+	st, done, err := c.getattrRPC(at, fh)
+	if err != nil {
+		return done, err
+	}
+	if a != nil && st.Mtime != a.st.Mtime {
+		c.pages.dropFile(fh.Ino)
+	}
+	c.putAttrs(fh, st, done)
+	return done, nil
+}
+
+// ReadAt implements vfs.File: cached pages are served locally (after the
+// consistency check); misses fetch transfer-size READs; sequential access
+// triggers asynchronous read-ahead.
+func (f *nfsFile) ReadAt(at time.Duration, off int64, buf []byte) (int, time.Duration, error) {
+	c := f.c
+	done, err := c.revalidate(at, f.fh)
+	if err != nil {
+		return 0, done, err
+	}
+	size := c.cachedSize(f.fh)
+	if off >= size {
+		return 0, done, nil
+	}
+	if off+int64(len(buf)) > size {
+		buf = buf[:size-off]
+	}
+	first := off / pageSize
+	last := (off + int64(len(buf)) - 1) / pageSize
+	maxPages := TransferSize(c.ver) / pageSize
+
+	// Fetch missing runs.
+	for idx := first; idx <= last; {
+		if c.pages.peek(pageKey{f.fh.Ino, idx}) != nil {
+			idx++
+			continue
+		}
+		run := 1
+		for idx+int64(run) <= last && run < maxPages &&
+			c.pages.peek(pageKey{f.fh.Ino, idx + int64(run)}) == nil {
+			run++
+		}
+		var data []byte
+		d2, err := c.call(done, ProcRead, 0, 0, run*pageSize, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			data, _, arrive, e = c.srv.Read(arrive, f.fh, idx*pageSize, run*pageSize)
+			return arrive, e
+		})
+		if err != nil {
+			return 0, d2, err
+		}
+		done = d2
+		for j := 0; j < run; j++ {
+			pdata := make([]byte, pageSize)
+			if j*pageSize < len(data) {
+				copy(pdata, data[j*pageSize:])
+			}
+			c.pages.insert(pageKey{f.fh.Ino, idx + int64(j)}, pdata, done)
+		}
+		idx += int64(run)
+	}
+
+	// Copy out, waiting for any in-flight read-ahead.
+	copied := 0
+	for idx := first; idx <= last; idx++ {
+		p := c.pages.peek(pageKey{f.fh.Ino, idx})
+		bs, be := int64(0), int64(pageSize)
+		if idx == first {
+			bs = off % pageSize
+		}
+		if idx == last {
+			be = (off+int64(len(buf))-1)%pageSize + 1
+		}
+		if p == nil {
+			copied += int(be - bs) // should not happen; zero fill
+			continue
+		}
+		if p.readyAt > done {
+			done = p.readyAt
+		}
+		copied += copy(buf[copied:], p.data[bs:be])
+	}
+	done = c.charge(done, copied)
+
+	// Read-ahead: sequential access only (random access disables it).
+	fsx := c.fileState(f.fh.Ino)
+	n := last - first + 1
+	if first != fsx.raNext {
+		fsx.raWindow = 4
+		fsx.raNext = first + n
+		fsx.raPrefetched = last + 1
+		return copied, done, nil
+	}
+	fsx.raWindow *= 2
+	if fsx.raWindow > c.ReadAheadPages {
+		fsx.raWindow = c.ReadAheadPages
+	}
+	fsx.raNext = first + n
+	end := last + 1 + int64(fsx.raWindow)
+	if maxFile := (size + pageSize - 1) / pageSize; end > maxFile {
+		end = maxFile
+	}
+	start := fsx.raPrefetched
+	if start < last+1 {
+		start = last + 1
+	}
+	for idx := start; idx < end; {
+		if c.pages.peek(pageKey{f.fh.Ino, idx}) != nil {
+			idx++
+			continue
+		}
+		run := 1
+		for idx+int64(run) < end && run < maxPages &&
+			c.pages.peek(pageKey{f.fh.Ino, idx + int64(run)}) == nil {
+			run++
+		}
+		var data []byte
+		raDone, err := c.call(done, ProcRead, 0, 0, run*pageSize, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			data, _, arrive, e = c.srv.Read(arrive, f.fh, idx*pageSize, run*pageSize)
+			return arrive, e
+		})
+		if err != nil {
+			break
+		}
+		for j := 0; j < run; j++ {
+			pdata := make([]byte, pageSize)
+			if j*pageSize < len(data) {
+				copy(pdata, data[j*pageSize:])
+			}
+			c.pages.insert(pageKey{f.fh.Ino, idx + int64(j)}, pdata, raDone)
+		}
+		idx += int64(run)
+	}
+	fsx.raPrefetched = end
+	return copied, done, nil
+}
+
+// WriteAt implements vfs.File. v2 writes through synchronously; v3/v4
+// write into the page cache and the bounded async pool.
+func (f *nfsFile) WriteAt(at time.Duration, off int64, data []byte) (int, time.Duration, error) {
+	c := f.c
+	if c.ver == V2 {
+		return f.writeSync(at, off, data)
+	}
+	done := c.charge(at, len(data))
+	first := off / pageSize
+	last := (off + int64(len(data)) - 1) / pageSize
+	size := c.cachedSize(f.fh)
+	written := 0
+	for idx := first; idx <= last; idx++ {
+		bs, be := int64(0), int64(pageSize)
+		if idx == first {
+			bs = off % pageSize
+		}
+		if idx == last {
+			be = (off+int64(len(data))-1)%pageSize + 1
+		}
+		k := pageKey{f.fh.Ino, idx}
+		p := c.pages.peek(k)
+		if p == nil && !(bs == 0 && be == pageSize) && idx*pageSize < size {
+			// Partial write of an uncached existing page: read it first.
+			var rdata []byte
+			d2, err := c.call(done, ProcRead, 0, 0, pageSize, func(arrive time.Duration) (time.Duration, error) {
+				var e error
+				rdata, _, arrive, e = c.srv.Read(arrive, f.fh, idx*pageSize, pageSize)
+				return arrive, e
+			})
+			if err != nil {
+				return written, d2, err
+			}
+			done = d2
+			pdata := make([]byte, pageSize)
+			copy(pdata, rdata)
+			p = c.pages.insert(k, pdata, done)
+		} else if p == nil {
+			p = c.pages.getOrCreate(k)
+		}
+		written += copy(p.data[bs:be], data[written:])
+		p.dirty = true
+		c.wb.add(k)
+	}
+	// Update the local size view.
+	if a := c.attrs[f.fh.Ino]; a != nil {
+		if ns := off + int64(len(data)); ns > a.st.Size {
+			a.st.Size = ns
+		}
+	}
+	done = c.wbFlush(done)
+	return written, done, nil
+}
+
+func (c *Client) wbFlush(at time.Duration) time.Duration {
+	done, err := c.wb.maybeFlush(at)
+	if err != nil {
+		return at
+	}
+	return done
+}
+
+// writeSync is the v2 path: every chunk is a stable WRITE (server syncs
+// data and meta-data before replying).
+func (f *nfsFile) writeSync(at time.Duration, off int64, data []byte) (int, time.Duration, error) {
+	c := f.c
+	done := at
+	chunk := TransferSize(V2)
+	written := 0
+	for written < len(data) {
+		n := len(data) - written
+		if n > chunk {
+			n = chunk
+		}
+		part := data[written : written+n]
+		o := off + int64(written)
+		var st vfs.Stat
+		d2, err := c.call(done, ProcWrite, 0, n, 0, func(arrive time.Duration) (time.Duration, error) {
+			var e error
+			st, arrive, e = c.srv.Write(arrive, f.fh, o, part, true)
+			return arrive, e
+		})
+		if err != nil {
+			return written, d2, err
+		}
+		done = d2
+		c.putAttrs(f.fh, st, done)
+		// Keep the page cache coherent with what we wrote.
+		for p := o / pageSize; p <= (o+int64(n)-1)/pageSize; p++ {
+			if pg := c.pages.peek(pageKey{f.fh.Ino, p}); pg != nil {
+				bs := o - p*pageSize
+				if bs < 0 {
+					bs = 0
+				}
+				srcOff := p*pageSize + bs - o
+				end := int64(n) - srcOff
+				if end > pageSize-bs {
+					end = pageSize - bs
+				}
+				if end > 0 {
+					copy(pg.data[bs:bs+end], part[srcOff:srcOff+end])
+				}
+			}
+		}
+		written += n
+	}
+	return written, c.charge(done, len(data)), nil
+}
+
+// Fsync implements vfs.File.
+func (f *nfsFile) Fsync(at time.Duration) (time.Duration, error) {
+	return f.c.wb.drain(at)
+}
+
+// Close implements vfs.File: close-to-open consistency flushes dirty data
+// (v3/v4); v4 additionally sends CLOSE to release open state.
+func (f *nfsFile) Close(at time.Duration) (time.Duration, error) {
+	c := f.c
+	done := at
+	if c.ver >= V3 {
+		hasDirty := false
+		for k := range c.wb.queued {
+			if k.ino == f.fh.Ino {
+				hasDirty = true
+				break
+			}
+		}
+		if hasDirty {
+			var err error
+			done, err = c.wb.drain(done)
+			if err != nil {
+				return done, err
+			}
+		}
+	}
+	if c.ver == V4 {
+		var err error
+		done, err = c.call(done, ProcClose, 0, 0, 0, func(arrive time.Duration) (time.Duration, error) {
+			return c.srv.Close(arrive)
+		})
+		if err != nil {
+			return done, err
+		}
+	}
+	delete(c.files, f.fh.Ino)
+	return done, nil
+}

@@ -1,0 +1,218 @@
+package nfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext3"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+// rig builds a client/server pair over an untimed in-memory export.
+func rig(t *testing.T, ver Version) (*Client, *Server, *simnet.Network) {
+	t.Helper()
+	dev := blockdev.NewTestbedArray(32768)
+	if _, err := ext3.Mkfs(0, dev, ext3.Options{}); err != nil {
+		t.Fatalf("mkfs: %v", err)
+	}
+	fs, _, err := ext3.Mount(0, dev, ext3.Options{})
+	if err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	net := simnet.New(simnet.DefaultLAN())
+	srv := NewServer(fs, nil)
+	tr := sunrpc.TCP
+	if ver == V2 {
+		tr = sunrpc.UDP
+	}
+	c := NewClient(ver, sunrpc.NewClient(net, tr), srv, nil)
+	if _, err := c.Mount(0); err != nil {
+		t.Fatalf("client mount: %v", err)
+	}
+	return c, srv, net
+}
+
+func TestWireSizeSanity(t *testing.T) {
+	for _, v := range []Version{V2, V3, V4} {
+		if ArgSize(v, ProcWrite, 0, 8192) < 8192 {
+			t.Fatalf("%v WRITE args smaller than payload", v)
+		}
+		if ResSize(v, ProcRead, 4096) < 4096 {
+			t.Fatalf("%v READ result smaller than payload", v)
+		}
+		if ArgSize(v, ProcLookup, 255, 0) <= ArgSize(v, ProcLookup, 1, 0) {
+			t.Fatalf("%v LOOKUP ignores name length", v)
+		}
+	}
+	if ArgSize(V4, ProcGetattr, 0, 0) <= ArgSize(V3, ProcGetattr, 0, 0) {
+		t.Fatal("v4 COMPOUND framing not reflected in sizes")
+	}
+}
+
+func TestProcClassification(t *testing.T) {
+	if ProcRead.IsMetadata() || ProcWrite.IsMetadata() || ProcCommit.IsMetadata() {
+		t.Fatal("data procs classified as meta-data")
+	}
+	for _, p := range []Proc{ProcLookup, ProcGetattr, ProcMkdir, ProcReaddir} {
+		if !p.IsMetadata() {
+			t.Fatalf("%v not classified as meta-data", p)
+		}
+	}
+}
+
+// Property: the fattr helper round-trips any Stat.
+func TestQuickFattrRoundTrip(t *testing.T) {
+	f := func(ino uint64, mode uint16, nlink uint8, size int64, uid, gid uint32) bool {
+		st := vfs.Stat{
+			Ino: ino, Mode: vfs.Mode(mode), Nlink: int(nlink),
+			UID: uid, GID: gid, Size: size,
+			Atime: time.Second, Mtime: 2 * time.Second, Ctime: 3 * time.Second,
+		}
+		got, err := FattrToStat(StatToFattr(st))
+		return err == nil && got == st
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndFileLifecycle(t *testing.T) {
+	for _, ver := range []Version{V2, V3, V4} {
+		c, _, _ := rig(t, ver)
+		at := time.Duration(0)
+		var err error
+		if at, err = c.Mkdir(at, "/d", 0o755); err != nil {
+			t.Fatalf("%v mkdir: %v", ver, err)
+		}
+		f, at, err := c.Create(at, "/d/file", 0o644)
+		if err != nil {
+			t.Fatalf("%v create: %v", ver, err)
+		}
+		payload := bytes.Repeat([]byte("nfs-data"), 3000) // 24 KB
+		if _, at, err = f.WriteAt(at, 0, payload); err != nil {
+			t.Fatalf("%v write: %v", ver, err)
+		}
+		if at, err = f.Close(at); err != nil {
+			t.Fatalf("%v close: %v", ver, err)
+		}
+		if at, err = c.Sync(at); err != nil {
+			t.Fatalf("%v sync: %v", ver, err)
+		}
+		g, at, err := c.Open(at, "/d/file")
+		if err != nil {
+			t.Fatalf("%v open: %v", ver, err)
+		}
+		got := make([]byte, len(payload))
+		if _, at, err = g.ReadAt(at, 0, got); err != nil {
+			t.Fatalf("%v read: %v", ver, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%v roundtrip mismatch", ver)
+		}
+		st, at, err := c.Stat(at, "/d/file")
+		if err != nil || st.Size != int64(len(payload)) {
+			t.Fatalf("%v stat: %v size=%d", ver, err, st.Size)
+		}
+		if at, err = c.Rename(at, "/d/file", "/d/file2"); err != nil {
+			t.Fatalf("%v rename: %v", ver, err)
+		}
+		if at, err = c.Unlink(at, "/d/file2"); err != nil {
+			t.Fatalf("%v unlink: %v", ver, err)
+		}
+		if _, _, err = c.Stat(at, "/d/file2"); err != vfs.ErrNotExist {
+			t.Fatalf("%v stat after unlink: %v", ver, err)
+		}
+	}
+}
+
+func TestAttrCacheRevalidation(t *testing.T) {
+	c, srv, net := rig(t, V3)
+	at, err := c.Mkdir(0, "/d", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, at, err = c.Stat(at, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Within the 3s window: resolution generates no traffic (the stat
+	// GETATTR itself is the only message for v3's stat quirk).
+	before := net.Stats().Messages
+	if _, at, err = c.Stat(at+time.Second, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := net.Stats().Messages - before
+	// Past the window: resolution revalidates too.
+	before = net.Stats().Messages
+	if _, _, err = c.Stat(at+10*time.Second, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	stale := net.Stats().Messages - before
+	if stale <= fresh {
+		t.Fatalf("stale stat (%d msgs) should exceed fresh stat (%d)", stale, fresh)
+	}
+	_ = srv
+}
+
+func TestV2WritesAreStable(t *testing.T) {
+	c, srv, _ := rig(t, V2)
+	f, at, err := c.Create(0, "/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, at, err = f.WriteAt(at, 0, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// v2 writes are synchronous: the server filesystem already has them.
+	st, _, err := srv.FS().GetAttrAt(at, ext3.Ino(f.(*nfsFile).fh.Ino))
+	if err != nil || st.Size != 16<<10 {
+		t.Fatalf("server missed sync writes: %v size=%d", err, st.Size)
+	}
+}
+
+func TestPseudoSyncLatchesUnderHeavyWrites(t *testing.T) {
+	c, _, _ := rig(t, V3)
+	f, at, err := c.Create(0, "/big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 4096)
+	for off := int64(0); off < 8<<20; off += 4096 {
+		if _, at, err = f.WriteAt(at, off, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.wb.pseudoSync {
+		t.Fatal("heavy write stream did not degenerate the write-back pool")
+	}
+}
+
+func TestServerFailureInjection(t *testing.T) {
+	c, srv, _ := rig(t, V3)
+	srv.FailRequests = true
+	if _, err := c.Mkdir(0, "/x", 0o755); err == nil {
+		t.Fatal("injected server failure not surfaced")
+	}
+	srv.FailRequests = false
+	if _, err := c.Mkdir(time.Second, "/x", 0o755); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}
+
+func TestMetadataFractionAccounting(t *testing.T) {
+	c, srv, _ := rig(t, V3)
+	at := time.Duration(0)
+	var err error
+	for i := 0; i < 5; i++ {
+		if at, err = c.Mkdir(at, "/m"+string(rune('a'+i)), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frac := srv.MetadataMessageFraction(); frac < 0.9 {
+		t.Fatalf("pure meta-data run classified at %.2f", frac)
+	}
+}

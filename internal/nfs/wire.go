@@ -1,0 +1,307 @@
+// Package nfs implements virtual-time NFS protocol engines for the three
+// generations the paper compares (Section 2.1):
+//
+//   - v2: RPC over UDP, stateless, 8 KB maximum transfers, synchronous
+//     data and meta-data writes at the server;
+//   - v3: RPC over TCP, asynchronous WRITE + COMMIT, post-op attributes,
+//     64-bit offsets — but retaining the Linux client's 8 KB transfer size
+//     and its bounded async-write pool (the "pseudo-synchronous" behaviour
+//     the paper analyzes in Section 4.5);
+//   - v4: stateful OPEN/CLOSE, COMPOUND-framed requests, per-component
+//     ACCESS checking (the Linux v4 client behaviour behind its higher
+//     message counts in Table 2), larger transfers.
+//
+// The server runs over a server-side ext3 filesystem exported with
+// synchronous meta-data semantics; the client implements vfs.FileSystem
+// with a dentry cache, a 3 s/30 s attribute/data cache, a page cache with
+// read-ahead, and a bounded write-behind pool.
+package nfs
+
+import (
+	"time"
+
+	"repro/internal/vfs"
+	"repro/internal/xdr"
+)
+
+// Version selects the protocol generation.
+type Version int
+
+// Protocol versions.
+const (
+	V2 Version = 2
+	V3 Version = 3
+	V4 Version = 4
+)
+
+func (v Version) String() string {
+	switch v {
+	case V2:
+		return "NFSv2"
+	case V3:
+		return "NFSv3"
+	default:
+		return "NFSv4"
+	}
+}
+
+// Proc identifies an NFS procedure (v4 operations are folded into the same
+// space; each COMPOUND we send corresponds to one logical operation, which
+// is how nfsstat-style message counting sees the Linux v4 client).
+type Proc int
+
+// Procedures.
+const (
+	ProcNull Proc = iota
+	ProcGetattr
+	ProcSetattr
+	ProcLookup
+	ProcAccess
+	ProcReadlink
+	ProcRead
+	ProcWrite
+	ProcCreate
+	ProcMkdir
+	ProcSymlink
+	ProcRemove
+	ProcRmdir
+	ProcRename
+	ProcLink
+	ProcReaddir
+	ProcReaddirPlus
+	ProcFsstat
+	ProcFsinfo
+	ProcCommit
+	ProcOpen        // v4
+	ProcOpenConfirm // v4
+	ProcClose       // v4
+)
+
+var procNames = map[Proc]string{
+	ProcNull: "NULL", ProcGetattr: "GETATTR", ProcSetattr: "SETATTR",
+	ProcLookup: "LOOKUP", ProcAccess: "ACCESS", ProcReadlink: "READLINK",
+	ProcRead: "READ", ProcWrite: "WRITE", ProcCreate: "CREATE",
+	ProcMkdir: "MKDIR", ProcSymlink: "SYMLINK", ProcRemove: "REMOVE",
+	ProcRmdir: "RMDIR", ProcRename: "RENAME", ProcLink: "LINK",
+	ProcReaddir: "READDIR", ProcReaddirPlus: "READDIRPLUS",
+	ProcFsstat: "FSSTAT", ProcFsinfo: "FSINFO", ProcCommit: "COMMIT",
+	ProcOpen: "OPEN", ProcOpenConfirm: "OPEN_CONFIRM", ProcClose: "CLOSE",
+}
+
+func (p Proc) String() string {
+	if s, ok := procNames[p]; ok {
+		return s
+	}
+	return "UNKNOWN"
+}
+
+// IsMetadata classifies a procedure the way the paper's traffic analysis
+// does: everything except READ/WRITE/COMMIT is meta-data traffic.
+func (p Proc) IsMetadata() bool {
+	switch p {
+	case ProcRead, ProcWrite, ProcCommit:
+		return false
+	}
+	return true
+}
+
+// FH is an NFS file handle: the server-side inode number plus generation.
+type FH struct {
+	Ino uint64
+	Gen uint32
+}
+
+// fhWireSize is the encoded filehandle size: v2 fixed 32 bytes; v3/v4
+// variable (we use 32).
+const fhWireSize = 32
+
+// fattrSize approximates the encoded fattr/post-op attribute structure.
+func fattrSize(v Version) int {
+	switch v {
+	case V2:
+		return 68
+	case V3:
+		return 84
+	default:
+		return 116 // v4 attribute bitmap encoding is bulkier
+	}
+}
+
+// sattrSize approximates the encoded settable-attribute structure.
+func sattrSize(v Version) int {
+	if v == V2 {
+		return 32
+	}
+	return 44
+}
+
+// compoundOverhead is the extra framing v4 COMPOUND adds per request.
+func compoundOverhead(v Version) int {
+	if v == V4 {
+		return 28 // tag + op count + PUTFH wrapping
+	}
+	return 0
+}
+
+// encodeName measures the XDR size of a name argument.
+func encodeName(name string) int {
+	e := xdr.NewEncoder()
+	e.String(name)
+	return e.Len()
+}
+
+// ArgSize returns the encoded argument size for (proc, name, payload).
+func ArgSize(v Version, p Proc, nameLen, payload int) int {
+	base := fhWireSize + compoundOverhead(v)
+	name := ((nameLen + 3) &^ 3) + 4
+	switch p {
+	case ProcGetattr, ProcReadlink, ProcFsstat, ProcFsinfo, ProcClose:
+		return base
+	case ProcAccess:
+		return base + 4
+	case ProcLookup, ProcRemove, ProcRmdir:
+		return base + name
+	case ProcSetattr:
+		return base + sattrSize(v)
+	case ProcRead:
+		return base + 12
+	case ProcWrite:
+		return base + 16 + payload
+	case ProcCreate, ProcMkdir, ProcOpen:
+		return base + name + sattrSize(v)
+	case ProcSymlink:
+		return base + name + sattrSize(v) + payload // payload = target len
+	case ProcRename:
+		return base + name + fhWireSize + name
+	case ProcLink:
+		return base + fhWireSize + name
+	case ProcReaddir, ProcReaddirPlus:
+		return base + 16
+	case ProcCommit:
+		return base + 12
+	case ProcOpenConfirm:
+		return base + 12
+	default:
+		return base
+	}
+}
+
+// ResSize returns the encoded result size for (proc, payload).
+func ResSize(v Version, p Proc, payload int) int {
+	attrs := fattrSize(v)
+	base := 8 + compoundOverhead(v) // status + framing
+	switch p {
+	case ProcGetattr, ProcSetattr:
+		return base + attrs
+	case ProcLookup, ProcCreate, ProcMkdir, ProcSymlink, ProcOpen:
+		return base + fhWireSize + attrs
+	case ProcAccess:
+		return base + attrs + 4
+	case ProcReadlink:
+		return base + attrs + payload
+	case ProcRead:
+		return base + attrs + 8 + payload
+	case ProcWrite:
+		return base + attrs + 12
+	case ProcRemove, ProcRmdir, ProcRename, ProcLink, ProcClose, ProcOpenConfirm:
+		return base + attrs
+	case ProcReaddir, ProcReaddirPlus:
+		return base + attrs + payload
+	case ProcCommit:
+		return base + attrs + 8
+	default:
+		return base
+	}
+}
+
+// TransferSize returns the client's read/write transfer size. The paper
+// observed the Linux v2 and v3 clients both using 8 KB transfers (v3's
+// protocol allows more but the implementation does not exploit it), while
+// the v4 client used larger transfers (Section 4.4).
+func TransferSize(v Version) int {
+	if v == V4 {
+		return 32 << 10
+	}
+	return 8 << 10
+}
+
+// readdirEntrySize approximates one entry in a READDIR reply.
+func readdirEntrySize(v Version, nameLen int) int {
+	if v == V2 {
+		return 12 + ((nameLen + 3) &^ 3)
+	}
+	return 20 + ((nameLen + 3) &^ 3)
+}
+
+// AttrTimeout is the client's meta-data consistency window: cached
+// attributes older than this trigger a revalidation GETATTR (Linux: 3 s,
+// per Section 2.3 of the paper).
+const AttrTimeout = 3 * time.Second
+
+// DataTimeout is the client's cached-data consistency window (30 s).
+const DataTimeout = 30 * time.Second
+
+// StatToFattr is a helper tying vfs.Stat to the wire attr representation
+// (used by tests to confirm attribute plumbing).
+func StatToFattr(st vfs.Stat) []byte {
+	e := xdr.NewEncoder()
+	e.Uint32(uint32(st.Mode))
+	e.Uint32(uint32(st.Nlink))
+	e.Uint32(st.UID)
+	e.Uint32(st.GID)
+	e.Uint64(uint64(st.Size))
+	e.Uint64(uint64(st.Blocks))
+	e.Uint64(uint64(st.Ino))
+	e.Int64(int64(st.Atime))
+	e.Int64(int64(st.Mtime))
+	e.Int64(int64(st.Ctime))
+	return e.Bytes()
+}
+
+// FattrToStat decodes StatToFattr's encoding.
+func FattrToStat(b []byte) (vfs.Stat, error) {
+	d := xdr.NewDecoder(b)
+	var st vfs.Stat
+	var err error
+	var u32 uint32
+	var u64 uint64
+	var i64 int64
+	if u32, err = d.Uint32(); err != nil {
+		return st, err
+	}
+	st.Mode = vfs.Mode(u32)
+	if u32, err = d.Uint32(); err != nil {
+		return st, err
+	}
+	st.Nlink = int(u32)
+	if st.UID, err = d.Uint32(); err != nil {
+		return st, err
+	}
+	if st.GID, err = d.Uint32(); err != nil {
+		return st, err
+	}
+	if u64, err = d.Uint64(); err != nil {
+		return st, err
+	}
+	st.Size = int64(u64)
+	if u64, err = d.Uint64(); err != nil {
+		return st, err
+	}
+	st.Blocks = int64(u64)
+	if st.Ino, err = d.Uint64(); err != nil {
+		return st, err
+	}
+	if i64, err = d.Int64(); err != nil {
+		return st, err
+	}
+	st.Atime = time.Duration(i64)
+	if i64, err = d.Int64(); err != nil {
+		return st, err
+	}
+	st.Mtime = time.Duration(i64)
+	if i64, err = d.Int64(); err != nil {
+		return st, err
+	}
+	st.Ctime = time.Duration(i64)
+	return st, nil
+}

@@ -1,0 +1,193 @@
+package nfsplus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext3"
+	"repro/internal/nfs"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+)
+
+// rig builds a server with n enhanced clients sharing it.
+func rig(t *testing.T, n int) (*Coordinator, []*Client, *simnet.Network) {
+	t.Helper()
+	dev := blockdev.NewTestbedArray(32768)
+	if _, err := ext3.Mkfs(0, dev, ext3.Options{}); err != nil {
+		t.Fatalf("mkfs: %v", err)
+	}
+	fs, _, err := ext3.Mount(0, dev, ext3.Options{})
+	if err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	net := simnet.New(simnet.DefaultLAN())
+	srv := nfs.NewServer(fs, nil)
+	co := NewCoordinator(srv, net)
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		c := NewClient(co, sunrpc.NewClient(net, sunrpc.TCP), nil)
+		if _, err := c.Mount(0); err != nil {
+			t.Fatalf("client %d mount: %v", i, err)
+		}
+		clients = append(clients, c)
+	}
+	return co, clients, net
+}
+
+// TestDelegatedUpdatesAggregateMessages verifies the paper's Section 7
+// claim: with directory delegation, a burst of meta-data updates costs a
+// lease acquisition plus ~1/AggregationFactor messages per update, rather
+// than one synchronous RPC each.
+func TestDelegatedUpdatesAggregateMessages(t *testing.T) {
+	_, cs, net := rig(t, 1)
+	c := cs[0]
+	before := net.Stats().Messages
+	at := time.Duration(0)
+	const n = 64
+	for i := 0; i < n; i++ {
+		var err error
+		at, err = c.Mkdir(at, "/dir"+itoa(i), 0o755)
+		if err != nil {
+			t.Fatalf("mkdir %d: %v", i, err)
+		}
+	}
+	at, err := c.Sync(at)
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	msgs := net.Stats().Messages - before
+	t.Logf("%d delegated mkdirs: %d wire messages (%.2f/op)", n, msgs, float64(msgs)/n)
+	// 1 lease + ceil(64/16)=4 flushes = 5 messages.
+	if msgs > 8 {
+		t.Errorf("delegation failed to aggregate: %d messages for %d updates", msgs, n)
+	}
+	if c.LocalOps != n {
+		t.Errorf("LocalOps = %d, want %d", c.LocalOps, n)
+	}
+}
+
+// TestConsistentCacheEliminatesRevalidation verifies meta-data reads are
+// free after first fetch, with no staleness window.
+func TestConsistentCacheEliminatesRevalidation(t *testing.T) {
+	_, cs, net := rig(t, 1)
+	c := cs[0]
+	at, err := c.Mkdir(0, "/d", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, at, err = c.Stat(at, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Long idle: a stock NFS client would revalidate after 3 s.
+	at += time.Hour
+	before := net.Stats().Messages
+	for i := 0; i < 50; i++ {
+		if _, at, err = c.Stat(at, "/d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := net.Stats().Messages - before; got != 0 {
+		t.Errorf("consistent cache sent %d messages for cached stats", got)
+	}
+}
+
+// TestInvalidationCallback verifies a second client's cached entry is
+// invalidated when the first updates the directory, and that the second
+// then observes the new state (strong consistency).
+func TestInvalidationCallback(t *testing.T) {
+	co, cs, _ := rig(t, 2)
+	a, b := cs[0], cs[1]
+	at, err := a.Mkdir(0, "/shared", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at, err = a.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	// b caches the listing of /shared.
+	ents, at, err := b.ReadDir(at, "/shared")
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("b readdir: %v %v", ents, err)
+	}
+	// a creates a file inside; b's cache must be invalidated via callback.
+	f, at, err := a.Create(at, "/shared/newfile", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close(at)
+	if co.Callbacks == 0 {
+		t.Error("no invalidation callbacks sent")
+	}
+	ents, _, err = b.ReadDir(at, "/shared")
+	if err != nil || len(ents) != 1 || ents[0].Name != "newfile" {
+		t.Fatalf("b sees stale state: %v %v", ents, err)
+	}
+}
+
+// TestLeaseRecall verifies a conflicting update recalls the lease and
+// flushes the holder's aggregated updates.
+func TestLeaseRecall(t *testing.T) {
+	co, cs, _ := rig(t, 2)
+	a, b := cs[0], cs[1]
+	at, err := a.Mkdir(0, "/d", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err = a.Mkdir(at, "/d/from-a", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b updates the same directory: a's lease on /d must be recalled.
+	at, err = b.Mkdir(at, "/d/from-b", 0o755)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Recalls == 0 {
+		t.Error("no lease recall on conflicting update")
+	}
+	ents, _, err := b.ReadDir(at, "/d")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("post-recall state wrong: %v %v", ents, err)
+	}
+}
+
+// TestDataPathRoundTrip sanity-checks the simple data path.
+func TestDataPathRoundTrip(t *testing.T) {
+	_, cs, _ := rig(t, 1)
+	c := cs[0]
+	f, at, err := c.Create(0, "/file", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("enhanced nfs payload 12345")
+	if _, at, err = f.WriteAt(at, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	g, at, err := c.Open(at, "/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = g.ReadAt(at, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,49 @@
+// Package sim provides the deterministic discrete virtual-time substrate
+// used by every simulated component in this repository: a virtual clock,
+// busy-until resources with utilization accounting, a windowed CPU model,
+// a deterministic RNG, and a tracker for asynchronous background work.
+//
+// All simulated activity is expressed as pure functions of virtual time:
+// an operation starts at some time.Duration since boot, occupies resources,
+// and completes at a later virtual time. Nothing in this package (or in any
+// package built on it) reads the wall clock, so simulations are exactly
+// reproducible run-to-run.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is a clock at time zero, ready
+// to use. Time only moves forward.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock starting at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time (duration since simulated boot).
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d panics: virtual time
+// is monotonic by construction and a negative advance always indicates a
+// causality bug in the caller.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// time; otherwise it is a no-op. It returns the (possibly unchanged)
+// current time, which is convenient when merging asynchronous completion
+// times back into the foreground timeline.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}

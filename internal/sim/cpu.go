@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultCPUWindow mirrors the 2-second vmstat sampling interval the paper
+// used when reporting CPU utilization percentiles (Tables 9 and 10).
+const DefaultCPUWindow = 2 * time.Second
+
+// CPU models a processor with windowed busy-time accounting. Work is
+// serialized (single resource); busy time is attributed to fixed-size
+// windows so percentile utilization can be reported the same way the paper
+// reports vmstat samples.
+type CPU struct {
+	// Speed scales service demands: a demand d costs d/Speed of CPU time.
+	// The paper's server has 2x933MHz CPUs and the client 1x1GHz; we fold
+	// that into Speed (1.0 = one reference 1 GHz core).
+	Speed float64
+	// Window is the utilization sampling window (default 2 s, like vmstat).
+	Window time.Duration
+
+	res     Resource
+	windows map[int64]time.Duration // window index -> busy time inside it
+}
+
+// NewCPU returns a CPU with the given relative speed (1.0 = reference core).
+func NewCPU(speed float64) *CPU {
+	return &CPU{Speed: speed, Window: DefaultCPUWindow, windows: make(map[int64]time.Duration)}
+}
+
+// Run executes a demand of the given reference-CPU duration, starting no
+// earlier than start, and returns the completion time.
+func (c *CPU) Run(start, demand time.Duration) (done time.Duration) {
+	if demand <= 0 {
+		return start
+	}
+	service := time.Duration(float64(demand) / c.Speed)
+	begin := start
+	if c.res.busyUntil > begin {
+		begin = c.res.busyUntil
+	}
+	done = c.res.Acquire(start, service)
+	c.account(begin, service)
+	return done
+}
+
+// account spreads service time across sampling windows [begin, begin+service).
+func (c *CPU) account(begin, service time.Duration) {
+	if c.windows == nil {
+		c.windows = make(map[int64]time.Duration)
+	}
+	w := c.Window
+	if w <= 0 {
+		w = DefaultCPUWindow
+	}
+	for service > 0 {
+		idx := int64(begin / w)
+		windowEnd := time.Duration(idx+1) * w
+		slice := windowEnd - begin
+		if slice > service {
+			slice = service
+		}
+		c.windows[idx] += slice
+		begin += slice
+		service -= slice
+	}
+}
+
+// Busy reports cumulative busy time.
+func (c *CPU) Busy() time.Duration { return c.res.Busy() }
+
+// BusyUntil reports when the CPU next goes idle.
+func (c *CPU) BusyUntil() time.Duration { return c.res.BusyUntil() }
+
+// Utilization returns mean utilization over [0, elapsed].
+func (c *CPU) Utilization(elapsed time.Duration) float64 {
+	return c.res.Utilization(elapsed)
+}
+
+// UtilizationPercentile reports the p-th percentile (0 < p <= 1) of
+// per-window utilization over windows [0, elapsed), the statistic the
+// paper reports from 2-second vmstat samples. Windows with zero busy time
+// count as zero-utilization samples.
+func (c *CPU) UtilizationPercentile(p float64, elapsed time.Duration) float64 {
+	w := c.Window
+	if w <= 0 {
+		w = DefaultCPUWindow
+	}
+	n := int64(elapsed / w)
+	if n <= 0 {
+		n = 1
+	}
+	samples := make([]float64, 0, n)
+	for i := int64(0); i < n; i++ {
+		u := float64(c.windows[i]) / float64(w)
+		if u > 1 {
+			u = 1 // saturated window
+		}
+		samples = append(samples, u)
+	}
+	sort.Float64s(samples)
+	if p <= 0 {
+		return samples[0]
+	}
+	if p >= 1 {
+		return samples[len(samples)-1]
+	}
+	idx := int(p*float64(len(samples))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
+}
+
+// Reset clears accounting (busy horizon preserved).
+func (c *CPU) Reset() {
+	c.res.Reset()
+	c.windows = make(map[int64]time.Duration)
+}

@@ -1,0 +1,58 @@
+package sim
+
+import "time"
+
+// Resource models a serially-occupied device: a network link direction, a
+// disk arm, a CPU. A request arriving at time t begins service at
+// max(t, busyUntil) and holds the resource for its service time. The zero
+// value is an idle resource ready for use.
+//
+// Resource additionally accounts total busy time, so callers can derive
+// utilization over any elapsed window.
+type Resource struct {
+	busyUntil time.Duration
+	busy      time.Duration // cumulative service time
+	count     int64         // number of acquisitions
+}
+
+// Acquire occupies the resource for service, starting no earlier than
+// start. It returns the completion time.
+func (r *Resource) Acquire(start, service time.Duration) (done time.Duration) {
+	if service < 0 {
+		service = 0
+	}
+	begin := start
+	if r.busyUntil > begin {
+		begin = r.busyUntil
+	}
+	done = begin + service
+	r.busyUntil = done
+	r.busy += service
+	r.count++
+	return done
+}
+
+// BusyUntil reports the earliest time the resource is next free.
+func (r *Resource) BusyUntil() time.Duration { return r.busyUntil }
+
+// Busy reports cumulative busy (service) time.
+func (r *Resource) Busy() time.Duration { return r.busy }
+
+// Count reports the number of acquisitions served.
+func (r *Resource) Count() int64 { return r.count }
+
+// Utilization returns busy time as a fraction of elapsed. Returns 0 for a
+// non-positive elapsed window.
+func (r *Resource) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(elapsed)
+}
+
+// Reset clears accounting but leaves the busy horizon intact, so resets
+// mid-simulation do not create time travel.
+func (r *Resource) Reset() {
+	r.busy = 0
+	r.count = 0
+}

@@ -1,0 +1,11 @@
+package sim
+
+import "math/rand"
+
+// NewRNG returns a deterministic pseudo-random source seeded with seed.
+// All stochastic behaviour in the repository (workload generators, failure
+// injection, trace synthesis) flows from explicitly-seeded RNGs so every
+// experiment is reproducible.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,283 @@
+package simdisk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RAID5 models a 4+p left-symmetric RAID-5 array, matching the paper's
+// ServeRAID configuration: four data disks plus one parity disk per array,
+// striped in fixed stripe units.
+//
+// Reads are striped across the data portions; a full-stripe write touches
+// every member once, while a partial-stripe write pays the classic
+// read-modify-write penalty (read old data + old parity, write new data +
+// new parity).
+type RAID5 struct {
+	disks        []*Disk
+	stripeUnit   int   // blocks per stripe unit
+	dataBlocks   int64 // logical capacity in blocks
+	stats        metrics.DiskStats
+	writebackOn bool // controller write-back cache absorbs some latency
+
+	// streamTails tracks the ends of recent write streams; appends that
+	// continue any tracked stream merge in NVRAM and destage without
+	// read-modify-write (journal appends interleaved with data flushes
+	// each keep their own stream).
+	streamTails [8]int64
+	streamNext  int
+}
+
+// NewRAID5 builds an array from n identical member disks (n >= 3) with the
+// given stripe unit in blocks.
+func NewRAID5(members int, p Params, stripeUnitBlocks int) (*RAID5, error) {
+	if members < 3 {
+		return nil, fmt.Errorf("simdisk: RAID-5 needs >= 3 members, got %d", members)
+	}
+	if stripeUnitBlocks <= 0 {
+		stripeUnitBlocks = 8 // 32 KB stripe units on 4 KB blocks
+	}
+	r := &RAID5{stripeUnit: stripeUnitBlocks, writebackOn: true}
+	for i := 0; i < members; i++ {
+		r.disks = append(r.disks, NewDisk(p))
+	}
+	r.dataBlocks = int64(members-1) * p.Blocks
+	return r, nil
+}
+
+// Blocks reports logical (data) capacity in blocks.
+func (r *RAID5) Blocks() int64 { return r.dataBlocks }
+
+// Members reports the number of member disks.
+func (r *RAID5) Members() int { return len(r.disks) }
+
+// Stats returns array-level counters (one entry per logical request).
+func (r *RAID5) Stats() metrics.DiskStats { return r.stats }
+
+// ResetStats zeroes array and member counters.
+func (r *RAID5) ResetStats() {
+	r.stats = metrics.DiskStats{}
+	for _, d := range r.disks {
+		d.ResetStats()
+	}
+}
+
+// Busy reports the max member busy time (the array bottleneck).
+func (r *RAID5) Busy() time.Duration {
+	var max time.Duration
+	for _, d := range r.disks {
+		if b := d.Busy(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// locate maps a logical block to (disk index, physical lba) using
+// left-symmetric parity rotation.
+func (r *RAID5) locate(lba int64) (disk int, plba int64, stripe int64) {
+	n := int64(len(r.disks))
+	su := int64(r.stripeUnit)
+	unit := lba / su        // logical stripe-unit index
+	off := lba % su         // block offset within unit
+	stripe = unit / (n - 1) // stripe row
+	col := unit % (n - 1)   // data column within the row
+	parity := (n - 1 - stripe%n + n) % n
+	d := col
+	if d >= parity {
+		d++
+	}
+	return int(d), stripe*su + off, stripe
+}
+
+// parityDisk returns the parity member for a stripe row.
+func (r *RAID5) parityDisk(stripe int64) int {
+	n := int64(len(r.disks))
+	return int((n - 1 - stripe%n + n) % n)
+}
+
+// runs splits [lba, lba+blocks) into per-disk contiguous runs.
+type diskRun struct {
+	disk   int
+	plba   int64
+	blocks int
+	stripe int64
+}
+
+func (r *RAID5) split(lba int64, blocks int) []diskRun {
+	var runs []diskRun
+	for blocks > 0 {
+		d, plba, stripe := r.locate(lba)
+		su := int64(r.stripeUnit)
+		inUnit := int(su - lba%su)
+		if inUnit > blocks {
+			inUnit = blocks
+		}
+		// Merge with previous run if physically contiguous on same disk.
+		if len(runs) > 0 {
+			last := &runs[len(runs)-1]
+			if last.disk == d && last.plba+int64(last.blocks) == plba {
+				last.blocks += inUnit
+				lba += int64(inUnit)
+				blocks -= inUnit
+				continue
+			}
+		}
+		runs = append(runs, diskRun{disk: d, plba: plba, blocks: inUnit, stripe: stripe})
+		lba += int64(inUnit)
+		blocks -= inUnit
+	}
+	return runs
+}
+
+// Read performs a logical read, striping across members; completion is the
+// max of the member completions.
+func (r *RAID5) Read(start time.Duration, lba int64, blocks int) (done time.Duration, err error) {
+	if blocks <= 0 {
+		return start, nil
+	}
+	if lba < 0 || lba+int64(blocks) > r.dataBlocks {
+		return start, fmt.Errorf("simdisk: RAID-5 read beyond array: lba=%d blocks=%d", lba, blocks)
+	}
+	r.stats.Reads++
+	r.stats.BlocksRead += int64(blocks)
+	done = start
+	for _, run := range r.split(lba, blocks) {
+		t, err := r.disks[run.disk].IO(start, run.plba, run.blocks, false)
+		if err != nil {
+			return start, err
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done, nil
+}
+
+// Controller characteristics: the ServeRAID adapter has a battery-backed
+// write-back cache. A write completes for the requester once it is in the
+// controller's NVRAM; destaging occupies the member disks in the
+// background. Under sustained load the cache fills and the requester is
+// throttled to destage speed, modeled as a bounded backlog window.
+const (
+	controllerLatency = 180 * time.Microsecond
+	controllerRate    = 200 << 20 // bytes/sec into NVRAM over the bus
+	writebackWindow   = 100 * time.Millisecond
+)
+
+// Write performs a logical write. Writes spanning at least a full stripe
+// width destage without parity read-modify-write (the cache coalesces them
+// into full-stripe writes); smaller writes pay the classic RMW penalty on
+// the touched members and the parity member.
+func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Duration, err error) {
+	if blocks <= 0 {
+		return start, nil
+	}
+	if lba < 0 || lba+int64(blocks) > r.dataBlocks {
+		return start, fmt.Errorf("simdisk: RAID-5 write beyond array: lba=%d blocks=%d", lba, blocks)
+	}
+	r.stats.Writes++
+	r.stats.BlocksWrit += int64(blocks)
+	n := int64(len(r.disks))
+	fullStripeBlocks := int(n-1) * r.stripeUnit
+	su := int64(r.stripeUnit)
+	bs := int64(r.disks[0].p.BlockSize)
+
+	runs := r.split(lba, blocks)
+	mechDone := start
+	streaming := false
+	for i, t := range r.streamTails {
+		if t != 0 && t == lba {
+			streaming = true
+			r.streamTails[i] = lba + int64(blocks)
+			break
+		}
+	}
+	if !streaming {
+		r.streamTails[r.streamNext] = lba + int64(blocks)
+		r.streamNext = (r.streamNext + 1) % len(r.streamTails)
+	}
+	if blocks >= fullStripeBlocks || streaming {
+		// Stripe-width or larger — or a streaming append the controller
+		// cache merges with its predecessor (journal writes are always
+		// appends) — destages as full stripes: data members write their
+		// shares, parity written once per touched row, no preliminary
+		// reads.
+		seen := make(map[int64]bool)
+		for _, run := range runs {
+			t, err := r.disks[run.disk].IO(start, run.plba, run.blocks, true)
+			if err != nil {
+				return start, err
+			}
+			if t > mechDone {
+				mechDone = t
+			}
+			first := run.stripe
+			last := (run.plba + int64(run.blocks) - 1) / su
+			for s := first; s <= last; s++ {
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				pd := r.parityDisk(s)
+				t, err := r.disks[pd].IO(start, s*su, r.stripeUnit, true)
+				if err != nil {
+					return start, err
+				}
+				if t > mechDone {
+					mechDone = t
+				}
+			}
+		}
+	} else {
+		// Partial-stripe write: read old data + old parity, write new data
+		// + new parity.
+		parityDone := make(map[int64]bool)
+		for _, run := range runs {
+			rd, err := r.disks[run.disk].IO(start, run.plba, run.blocks, false)
+			if err != nil {
+				return start, err
+			}
+			wr, err := r.disks[run.disk].IO(rd, run.plba, run.blocks, true)
+			if err != nil {
+				return start, err
+			}
+			if wr > mechDone {
+				mechDone = wr
+			}
+			first := run.stripe
+			last := (run.plba + int64(run.blocks) - 1) / su
+			for s := first; s <= last; s++ {
+				if parityDone[s] {
+					continue
+				}
+				pd := r.parityDisk(s)
+				prd, err := r.disks[pd].IO(start, s*su, r.stripeUnit, false)
+				if err != nil {
+					return start, err
+				}
+				pwr, err := r.disks[pd].IO(prd, s*su, r.stripeUnit, true)
+				if err != nil {
+					return start, err
+				}
+				parityDone[s] = true
+				if pwr > mechDone {
+					mechDone = pwr
+				}
+			}
+		}
+	}
+	if !r.writebackOn {
+		return mechDone, nil
+	}
+	// Requester sees NVRAM latency; backlog beyond the writeback window
+	// throttles to destage speed.
+	done = start + controllerLatency +
+		time.Duration(int64(blocks)*bs*int64(time.Second)/controllerRate)
+	if floor := mechDone - writebackWindow; floor > done {
+		done = floor
+	}
+	return done, nil
+}

@@ -1,0 +1,181 @@
+// Package simnet models the isolated Gigabit Ethernet LAN from the paper's
+// testbed (Section 3.1) in virtual time, including the NISTNet-style
+// wide-area delay injection used for the Figure 6 latency sweep.
+//
+// The link is full duplex: each direction is an independently serialized
+// resource with a configurable bandwidth, plus a propagation delay of
+// RTT/2 per traversal. Message loss can be injected for failure testing.
+//
+// The network counts protocol transactions (Messages), raw frames and
+// bytes; see package metrics for the unit conventions.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Direction of a one-way frame.
+type Direction int
+
+// Frame directions.
+const (
+	ClientToServer Direction = iota
+	ServerToClient
+)
+
+// Config describes link characteristics.
+type Config struct {
+	// RTT is the round-trip propagation delay. The paper's LAN measured
+	// under 1 ms; NISTNet sweeps push this to 10..90 ms.
+	RTT time.Duration
+	// Bandwidth in bytes per second per direction. Gigabit Ethernet
+	// nets about 117 MB/s of goodput after framing overhead.
+	Bandwidth int64
+	// PerFrameOverhead is added to every frame's size to account for
+	// Ethernet/IP/TCP headers.
+	PerFrameOverhead int
+	// LossRate is the probability of losing any one frame (failure
+	// injection; 0 for all paper experiments except robustness tests).
+	LossRate float64
+	// Seed seeds the loss-injection RNG.
+	Seed int64
+}
+
+// DefaultLAN returns the paper's testbed LAN: Gigabit Ethernet, ~200 us RTT.
+func DefaultLAN() Config {
+	return Config{
+		RTT:              200 * time.Microsecond,
+		Bandwidth:        117 << 20, // ~117 MiB/s goodput
+		PerFrameOverhead: 66,        // Ethernet+IP+TCP headers
+	}
+}
+
+// Network is a simulated full-duplex point-to-point link.
+type Network struct {
+	cfg   Config
+	up    sim.Resource // client -> server
+	down  sim.Resource // server -> client
+	rng   *rand.Rand
+	stats metrics.NetStats
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = DefaultLAN().Bandwidth
+	}
+	return &Network{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+}
+
+// SetRTT adjusts the propagation delay mid-simulation (the NISTNet knob).
+func (n *Network) SetRTT(rtt time.Duration) { n.cfg.RTT = rtt }
+
+// RTT reports the configured round-trip propagation delay.
+func (n *Network) RTT() time.Duration { return n.cfg.RTT }
+
+// SetLossRate adjusts frame loss probability (failure injection).
+func (n *Network) SetLossRate(p float64) { n.cfg.LossRate = p }
+
+// Stats returns a snapshot of the accumulated counters.
+func (n *Network) Stats() metrics.NetStats { return n.stats }
+
+// ResetStats zeroes the counters (busy horizons are preserved).
+func (n *Network) ResetStats() { n.stats = metrics.NetStats{} }
+
+// dir returns the resource for a direction.
+func (n *Network) dir(d Direction) *sim.Resource {
+	if d == ClientToServer {
+		return &n.up
+	}
+	return &n.down
+}
+
+// transmit models one frame: serialization on the sending direction plus
+// half-RTT propagation. It returns the arrival time and whether the frame
+// survived loss injection.
+func (n *Network) transmit(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
+	wire := int64(size + n.cfg.PerFrameOverhead)
+	ser := time.Duration(wire * int64(time.Second) / n.cfg.Bandwidth)
+	sent := n.dir(d).Acquire(start, ser)
+	n.stats.Frames++
+	if d == ClientToServer {
+		n.stats.BytesSent += wire
+	} else {
+		n.stats.BytesRecv += wire
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Dropped++
+		return sent + n.cfg.RTT/2, false
+	}
+	return sent + n.cfg.RTT/2, true
+}
+
+// Send delivers a one-way frame and returns its arrival time. Lost frames
+// still return an arrival time (when they would have arrived) with ok=false
+// so callers can model timeouts.
+func (n *Network) Send(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
+	return n.transmit(start, size, d)
+}
+
+// RoundTrip models one protocol transaction initiated by the client: a
+// request frame of reqBytes, server-side processing (the serve callback
+// maps arrival time to service-completion time), and a response frame of
+// respBytes. It counts one Message. The request or the response may be
+// lost under failure injection, in which case ok=false and done is the
+// time at which the loss becomes knowable (for timeout modeling).
+func (n *Network) RoundTrip(start time.Duration, reqBytes, respBytes int,
+	serve func(arrive time.Duration) time.Duration) (done time.Duration, ok bool) {
+	n.stats.Messages++
+	arrive, ok := n.transmit(start, reqBytes, ClientToServer)
+	if !ok {
+		return arrive, false
+	}
+	finished := serve(arrive)
+	if finished < arrive {
+		finished = arrive
+	}
+	reply, ok := n.transmit(finished, respBytes, ServerToClient)
+	if !ok {
+		return reply, false
+	}
+	return reply, true
+}
+
+// ServerRoundTrip models a server-initiated transaction (e.g. an NFS v4
+// delegation callback): request travels server->client, the client handles
+// it, and the response returns. Counts one Message.
+func (n *Network) ServerRoundTrip(start time.Duration, reqBytes, respBytes int,
+	handle func(arrive time.Duration) time.Duration) (done time.Duration, ok bool) {
+	n.stats.Messages++
+	arrive, ok := n.transmit(start, reqBytes, ServerToClient)
+	if !ok {
+		return arrive, false
+	}
+	finished := handle(arrive)
+	if finished < arrive {
+		finished = arrive
+	}
+	reply, ok := n.transmit(finished, respBytes, ClientToServer)
+	if !ok {
+		return reply, false
+	}
+	return reply, true
+}
+
+// CountRetransmit records a duplicated request (and its wasted bandwidth)
+// caused by a client-side RPC timeout. The retransmitted frame occupies
+// the uplink like any other traffic.
+func (n *Network) CountRetransmit(start time.Duration, reqBytes int) time.Duration {
+	arrive, _ := n.transmit(start, reqBytes, ClientToServer)
+	n.stats.Retransmits++
+	return arrive
+}
+
+// CountMessage records one protocol transaction whose frames the caller
+// transmits itself via Send (the RPC layer does this because the reply
+// size is only known after the server executes the call).
+func (n *Network) CountMessage() { n.stats.Messages++ }

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRoundTripLatencyAndCounters(t *testing.T) {
+	n := New(Config{RTT: 10 * time.Millisecond, Bandwidth: 1 << 30})
+	done, ok := n.RoundTrip(0, 100, 100, func(arrive time.Duration) time.Duration {
+		if arrive < 5*time.Millisecond {
+			t.Fatalf("request arrived before half-RTT: %v", arrive)
+		}
+		return arrive + time.Millisecond // 1ms of server work
+	})
+	if !ok {
+		t.Fatal("lossless round trip failed")
+	}
+	if done < 11*time.Millisecond {
+		t.Fatalf("reply before RTT+service: %v", done)
+	}
+	s := n.Stats()
+	if s.Messages != 1 || s.Frames != 2 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1 MB/s uplink: two 100 KB frames serialize to ~0.1s each.
+	n := New(Config{RTT: 0, Bandwidth: 1 << 20, PerFrameOverhead: 0})
+	a1, _ := n.Send(0, 100<<10, ClientToServer)
+	a2, _ := n.Send(0, 100<<10, ClientToServer)
+	if a2 < a1+(a1-0)/2 {
+		t.Fatalf("no serialization: %v then %v", a1, a2)
+	}
+	// Opposite direction unaffected (full duplex).
+	a3, _ := n.Send(0, 100<<10, ServerToClient)
+	if a3 >= a2 {
+		t.Fatalf("duplex broken: down %v vs up %v", a3, a2)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	n := New(Config{RTT: time.Millisecond, Bandwidth: 1 << 30, LossRate: 1.0, Seed: 1})
+	_, ok := n.Send(0, 100, ClientToServer)
+	if ok {
+		t.Fatal("frame survived 100% loss")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", n.Stats().Dropped)
+	}
+}
+
+func TestSetRTTMidRun(t *testing.T) {
+	n := New(DefaultLAN())
+	d1, _ := n.RoundTrip(0, 10, 10, func(a time.Duration) time.Duration { return a })
+	n.SetRTT(50 * time.Millisecond)
+	d2, _ := n.RoundTrip(d1, 10, 10, func(a time.Duration) time.Duration { return a })
+	if d2-d1 < 50*time.Millisecond {
+		t.Fatalf("RTT change ignored: %v", d2-d1)
+	}
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	n := New(DefaultLAN())
+	handled := false
+	_, ok := n.ServerRoundTrip(0, 64, 32, func(a time.Duration) time.Duration {
+		handled = true
+		return a
+	})
+	if !ok || !handled {
+		t.Fatal("server-initiated round trip failed")
+	}
+	if n.Stats().Messages != 1 {
+		t.Fatalf("callback not counted as a message")
+	}
+}

@@ -1,0 +1,167 @@
+// Package sunrpc models the ONC RPC layer NFS rides on: call/reply framing
+// over UDP (NFS v2) or TCP (v3/v4), client-side timeouts, retransmission
+// with exponential backoff, and a duplicate-request cache at the server.
+//
+// The retransmission model reproduces the Linux client behaviour the paper
+// observed in its latency sweep (Section 4.6): the client uses its own
+// RPC-level timer rather than relying on TCP's error recovery, so at high
+// round-trip times it re-issues requests that are still in transit,
+// wasting bandwidth and degrading performance faster than iSCSI.
+package sunrpc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Transport selects the RPC transport model.
+type Transport int
+
+// Transports.
+const (
+	UDP Transport = iota
+	TCP
+)
+
+func (t Transport) String() string {
+	if t == UDP {
+		return "udp"
+	}
+	return "tcp"
+}
+
+// Wire constants: ONC RPC call header with AUTH_UNIX credentials is about
+// 64 bytes; the reply header about 32. TCP adds 4 bytes of record marking.
+const (
+	CallHeaderBytes  = 64
+	ReplyHeaderBytes = 32
+	tcpRecordMark    = 4
+)
+
+// Stats counts RPC-layer activity.
+type Stats struct {
+	Calls       int64
+	Retransmits int64
+	Timeouts    int64
+	Failures    int64
+}
+
+// Client is the RPC client endpoint.
+type Client struct {
+	Net       *simnet.Network
+	Transport Transport
+
+	// RTO is the client's (fixed) initial retransmission timeout. The
+	// Linux client of the era behaved as if this were a few hundred
+	// milliseconds regardless of path RTT; retransmitted requests double
+	// the timer (exponential backoff).
+	RTO time.Duration
+	// MaxRetries bounds retransmissions before the call errors out.
+	MaxRetries int
+
+	stats Stats
+}
+
+// NewClient builds an RPC client over net.
+func NewClient(net *simnet.Network, tr Transport) *Client {
+	return &Client{Net: net, Transport: tr, RTO: 350 * time.Millisecond, MaxRetries: 8}
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Client) ResetStats() { c.stats = Stats{} }
+
+// overhead returns per-message framing bytes.
+func (c *Client) overhead() (call, reply int) {
+	call, reply = CallHeaderBytes, ReplyHeaderBytes
+	if c.Transport == TCP {
+		call += tcpRecordMark
+		reply += tcpRecordMark
+	}
+	return call, reply
+}
+
+// Call performs one RPC: argBytes of encoded arguments travel to the
+// server, serve maps arrival time to (result size, service completion),
+// and the reply travels back. Returns the completion time.
+//
+// Timeout handling: if the reply would arrive after the client's RTO
+// fires, the client retransmits (duplicate request frame plus, for the
+// duplicate-request cache hit, a duplicate reply frame). Retransmissions
+// consume bandwidth and delay the caller slightly but do not re-execute
+// the operation, mirroring a server-side duplicate request cache.
+func (c *Client) Call(start time.Duration, argBytes int,
+	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
+	callOH, replyOH := c.overhead()
+	c.stats.Calls++
+
+	attemptStart := start
+	rto := c.RTO
+	if rto <= 0 {
+		rto = 350 * time.Millisecond
+	}
+	c.Net.CountMessage()
+	// Duplicate-request cache: once the server has executed the call, a
+	// retransmission (reply lost) replays the cached reply instead of
+	// re-executing the operation.
+	served := false
+	cachedResult := 0
+	for attempt := 0; ; attempt++ {
+		arrive, ok := c.Net.Send(attemptStart, callOH+argBytes, simnet.ClientToServer)
+		if ok {
+			var resultBytes int
+			var done time.Duration
+			if served {
+				resultBytes, done = cachedResult, arrive
+			} else {
+				resultBytes, done = serve(arrive)
+				served, cachedResult = true, resultBytes
+			}
+			if done < arrive {
+				done = arrive
+			}
+			reply, rok := c.Net.Send(done, replyOH+resultBytes, simnet.ServerToClient)
+			if rok {
+				// Spurious retransmissions: while the reply was in flight,
+				// did the client's timer fire?
+				return c.spuriousRetransmits(start, reply, callOH+argBytes, replyOH+resultBytes, rto), nil
+			}
+		}
+		// Request or reply lost: the client discovers nothing until the
+		// timer fires, then retransmits.
+		c.stats.Timeouts++
+		if attempt >= c.MaxRetries {
+			c.stats.Failures++
+			return attemptStart + rto, fmt.Errorf("sunrpc: call failed after %d retransmissions", attempt)
+		}
+		c.stats.Retransmits++
+		attemptStart = attemptStart + rto
+		rto *= 2
+	}
+}
+
+// spuriousRetransmits models the pathology from Section 4.6: the reply is
+// in transit but the client's timer fires anyway. Each spurious
+// retransmission sends a duplicate request; the server's duplicate request
+// cache answers with a duplicate reply. The caller's completion is pushed
+// out by the churn.
+func (c *Client) spuriousRetransmits(start, reply time.Duration, reqSize, respSize int, rto time.Duration) time.Duration {
+	deadline := start + rto
+	done := reply
+	for deadline < reply {
+		c.stats.Retransmits++
+		arrive := c.Net.CountRetransmit(deadline, reqSize)
+		// Duplicate reply from the duplicate-request cache.
+		dup, _ := c.Net.Send(arrive, respSize, simnet.ServerToClient)
+		if dup > done {
+			done = dup
+		}
+		rto *= 2
+		deadline += rto
+	}
+	return done
+}

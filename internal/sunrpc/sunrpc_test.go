@@ -1,0 +1,100 @@
+package sunrpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func lan() *simnet.Network { return simnet.New(simnet.DefaultLAN()) }
+
+func TestCallCountsOneMessage(t *testing.T) {
+	n := lan()
+	c := NewClient(n, TCP)
+	done, err := c.Call(0, 100, func(arrive time.Duration) (int, time.Duration) {
+		return 200, arrive + time.Millisecond
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < time.Millisecond {
+		t.Fatalf("done %v before service completed", done)
+	}
+	s := n.Stats()
+	if s.Messages != 1 || s.Frames != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if c.Stats().Calls != 1 || c.Stats().Retransmits != 0 {
+		t.Fatalf("rpc stats: %+v", c.Stats())
+	}
+}
+
+func TestSpuriousRetransmissionAtHighLatency(t *testing.T) {
+	n := simnet.New(simnet.Config{RTT: 500 * time.Millisecond, Bandwidth: 1 << 30})
+	c := NewClient(n, TCP)
+	c.RTO = 100 * time.Millisecond // fires while the reply is in flight
+	_, err := c.Call(0, 100, func(arrive time.Duration) (int, time.Duration) {
+		return 100, arrive
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Retransmits == 0 {
+		t.Fatal("no spurious retransmissions at RTT >> RTO (the Figure 6 pathology)")
+	}
+}
+
+func TestLossRecovery(t *testing.T) {
+	n := simnet.New(simnet.Config{RTT: time.Millisecond, Bandwidth: 1 << 30, LossRate: 0.5, Seed: 3})
+	c := NewClient(n, UDP)
+	c.RTO = 10 * time.Millisecond
+	c.MaxRetries = 30 // 50% frame loss kills ~75% of attempts
+	served := 0
+	for i := 0; i < 20; i++ {
+		_, err := c.Call(time.Duration(i)*time.Second, 64, func(arrive time.Duration) (int, time.Duration) {
+			served++
+			return 64, arrive
+		})
+		if err != nil {
+			t.Fatalf("call %d failed despite retries: %v", i, err)
+		}
+	}
+	if c.Stats().Timeouts == 0 {
+		t.Fatal("50% loss produced no timeouts")
+	}
+}
+
+func TestDuplicateRequestCacheNoReexecution(t *testing.T) {
+	// Deterministic loss of the first reply: serve must run exactly once.
+	n := simnet.New(simnet.Config{RTT: time.Millisecond, Bandwidth: 1 << 30, LossRate: 0.45, Seed: 11})
+	c := NewClient(n, UDP)
+	c.RTO = 5 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		executions := 0
+		_, err := c.Call(time.Duration(i)*time.Second, 64, func(arrive time.Duration) (int, time.Duration) {
+			executions++
+			return 64, arrive
+		})
+		if err != nil {
+			continue
+		}
+		if executions > 1 {
+			t.Fatalf("call %d executed %d times (duplicate request cache broken)", i, executions)
+		}
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	n := simnet.New(simnet.Config{RTT: time.Millisecond, Bandwidth: 1 << 30, LossRate: 1.0, Seed: 5})
+	c := NewClient(n, UDP)
+	c.RTO = time.Millisecond
+	c.MaxRetries = 3
+	_, err := c.Call(0, 64, func(arrive time.Duration) (int, time.Duration) { return 64, arrive })
+	if err == nil {
+		t.Fatal("call succeeded over a dead network")
+	}
+	if c.Stats().Failures != 1 {
+		t.Fatalf("failures = %d", c.Stats().Failures)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "container/list"
+
+// lruCache is an O(1) LRU set of directory ids (the per-client
+// strongly-consistent meta-data cache in the Section 7 simulation).
+type lruCache struct {
+	max     int
+	entries map[int]*list.Element
+	order   *list.List // front = most recent
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, entries: make(map[int]*list.Element), order: list.New()}
+}
+
+// touch reports whether dir is cached, refreshing its recency.
+func (l *lruCache) touch(dir int) bool {
+	if e, ok := l.entries[dir]; ok {
+		l.order.MoveToFront(e)
+		return true
+	}
+	return false
+}
+
+// insert caches dir, evicting the least recent entry if full.
+func (l *lruCache) insert(dir int) {
+	if e, ok := l.entries[dir]; ok {
+		l.order.MoveToFront(e)
+		return
+	}
+	if len(l.entries) >= l.max {
+		back := l.order.Back()
+		if back != nil {
+			l.order.Remove(back)
+			delete(l.entries, back.Value.(int))
+		}
+	}
+	l.entries[dir] = l.order.PushFront(dir)
+}
+
+// remove drops dir if cached, reporting whether it was present.
+func (l *lruCache) remove(dir int) bool {
+	if e, ok := l.entries[dir]; ok {
+		l.order.Remove(e)
+		delete(l.entries, dir)
+		return true
+	}
+	return false
+}
+
+// len reports occupancy (tests).
+func (l *lruCache) len() int { return len(l.entries) }

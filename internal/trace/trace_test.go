@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(EECS())
+	b := Synthesize(EECS())
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEECSSharingProfile checks the paper's Figure 7(a) shape: read
+// sharing well above write sharing, and only a small fraction of
+// directories read-write shared at the large time scale.
+func TestEECSSharingProfile(t *testing.T) {
+	recs := Synthesize(EECS())
+	pts := AnalyzeSharing(recs, []time.Duration{64 * time.Second, 1024 * time.Second})
+	for _, p := range pts {
+		t.Logf("T=%v read1=%.2f write1=%.2f readN=%.2f rwN=%.2f",
+			p.Interval, p.ReadOne, p.WriteOne, p.ReadMultiple, p.WrittenMultiple)
+		if p.ReadMultiple <= p.WrittenMultiple {
+			t.Errorf("EECS at %v: read sharing (%.3f) should exceed write sharing (%.3f)",
+				p.Interval, p.ReadMultiple, p.WrittenMultiple)
+		}
+	}
+	// At the largest scale, read-write shared directories stay a small
+	// fraction (paper: ~4%).
+	last := pts[len(pts)-1]
+	if last.WrittenMultiple > 0.15 {
+		t.Errorf("EECS rw-shared fraction %.2f too high", last.WrittenMultiple)
+	}
+}
+
+// TestCampusCrossover checks Figure 7(b)'s distinguishing feature: at
+// larger time scales read-write sharing overtakes pure read sharing.
+func TestCampusCrossover(t *testing.T) {
+	recs := Synthesize(Campus())
+	pts := AnalyzeSharing(recs, []time.Duration{8 * time.Second, 1024 * time.Second})
+	small, large := pts[0], pts[1]
+	t.Logf("small T: readN=%.3f rwN=%.3f; large T: readN=%.3f rwN=%.3f",
+		small.ReadMultiple, small.WrittenMultiple, large.ReadMultiple, large.WrittenMultiple)
+	if large.WrittenMultiple <= large.ReadMultiple {
+		t.Errorf("Campus at large T: rw sharing (%.3f) should exceed read sharing (%.3f)",
+			large.WrittenMultiple, large.ReadMultiple)
+	}
+}
+
+// TestMetadataCacheReduction reproduces the Section 7 simulation result:
+// a modest per-client directory cache eliminates well over half of the
+// meta-data messages, with a tiny callback ratio.
+func TestMetadataCacheReduction(t *testing.T) {
+	// Campus carries more read-write sharing than EECS (the paper's own
+	// observation), so its callback budget is looser.
+	limits := map[string]float64{"EECS": 0.05, "Campus": 0.10}
+	for _, p := range []Profile{EECS(), Campus()} {
+		recs := Synthesize(p)
+		res := SimulateMetadataCache(recs, 4096)
+		t.Logf("%s cache=4096: reduction=%.1f%% callbacks=%.4f",
+			p.Name, res.Reduction*100, res.CallbackRatio)
+		if res.Reduction < 0.4 {
+			t.Errorf("%s: reduction %.2f below 40%%", p.Name, res.Reduction)
+		}
+		if res.CallbackRatio > limits[p.Name] {
+			t.Errorf("%s: callback ratio %.3f too high", p.Name, res.CallbackRatio)
+		}
+	}
+}
+
+// TestCacheSizeSweepMonotone verifies larger caches reduce more messages.
+func TestCacheSizeSweepMonotone(t *testing.T) {
+	recs := Synthesize(EECS())
+	prev := -1.0
+	for _, size := range []int{16, 64, 256, 1024} {
+		res := SimulateMetadataCache(recs, size)
+		t.Logf("cache=%4d reduction=%.3f", size, res.Reduction)
+		if res.Reduction < prev-0.01 {
+			t.Errorf("reduction regressed at cache=%d: %.3f < %.3f", size, res.Reduction, prev)
+		}
+		prev = res.Reduction
+	}
+}
+
+// TestDelegationLowContention verifies delegation eliminates most
+// messages with a low recall ratio on both profiles (the paper's
+// feasibility argument).
+func TestDelegationLowContention(t *testing.T) {
+	limits := map[string]float64{"EECS": 0.08, "Campus": 0.16}
+	for _, p := range []Profile{EECS(), Campus()} {
+		res := SimulateDelegation(Synthesize(p))
+		t.Logf("%s delegation: reduction=%.1f%% recallRatio=%.4f",
+			p.Name, res.MessageReduction*100, res.RecallRatio)
+		if res.MessageReduction < 0.6 {
+			t.Errorf("%s: delegation reduction %.2f too low", p.Name, res.MessageReduction)
+		}
+		if res.RecallRatio > limits[p.Name] {
+			t.Errorf("%s: recall ratio %.3f too high", p.Name, res.RecallRatio)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// SeqRandConfig drives the Table 4 / Figure 6 experiments: a file of
+// FileSize bytes accessed in ChunkSize units, sequentially or in a random
+// permutation.
+type SeqRandConfig struct {
+	FileSize  int64 // paper: 128 MB
+	ChunkSize int   // paper: 4 KB
+	Seed      int64
+}
+
+// DefaultSeqRand returns the paper's parameters.
+func DefaultSeqRand() SeqRandConfig {
+	return SeqRandConfig{FileSize: 128 << 20, ChunkSize: 4096, Seed: 7}
+}
+
+// SequentialWrite creates a file and writes it start to finish.
+func SequentialWrite(tb *testbed.Testbed, cfg SeqRandConfig) (Result, error) {
+	res, err := measure(tb, "seq-write", func() error {
+		f, err := tb.Create("/sw.dat")
+		if err != nil {
+			return err
+		}
+		chunk := patternChunk(cfg.ChunkSize, 0x5A)
+		for off := int64(0); off < cfg.FileSize; off += int64(cfg.ChunkSize) {
+			if _, err := tb.WriteFileAt(f, off, chunk); err != nil {
+				return err
+			}
+		}
+		return tb.Close(f)
+	})
+	return res, err
+}
+
+// RandomWrite writes every chunk of a new file in a random permutation.
+func RandomWrite(tb *testbed.Testbed, cfg SeqRandConfig) (Result, error) {
+	rng := sim.NewRNG(cfg.Seed)
+	n := int(cfg.FileSize / int64(cfg.ChunkSize))
+	perm := rng.Perm(n)
+	res, err := measure(tb, "rand-write", func() error {
+		f, err := tb.Create("/rw.dat")
+		if err != nil {
+			return err
+		}
+		chunk := patternChunk(cfg.ChunkSize, 0xA5)
+		for _, p := range perm {
+			if _, err := tb.WriteFileAt(f, int64(p)*int64(cfg.ChunkSize), chunk); err != nil {
+				return err
+			}
+		}
+		return tb.Close(f)
+	})
+	return res, err
+}
+
+// prepareFile lays down the file read benchmarks consume, then empties all
+// caches so reads start cold (the paper's protocol).
+func prepareFile(tb *testbed.Testbed, path string, cfg SeqRandConfig) error {
+	f, err := tb.Create(path)
+	if err != nil {
+		return err
+	}
+	chunk := patternChunk(cfg.ChunkSize, 0x3C)
+	for off := int64(0); off < cfg.FileSize; off += int64(cfg.ChunkSize) {
+		if _, err := tb.WriteFileAt(f, off, chunk); err != nil {
+			return err
+		}
+	}
+	if err := tb.Close(f); err != nil {
+		return err
+	}
+	return tb.ColdCache()
+}
+
+// SequentialRead reads the file start to finish in chunks.
+func SequentialRead(tb *testbed.Testbed, cfg SeqRandConfig) (Result, error) {
+	if err := prepareFile(tb, "/sr.dat", cfg); err != nil {
+		return Result{}, err
+	}
+	res, err := measure(tb, "seq-read", func() error {
+		f, err := tb.Open("/sr.dat")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, cfg.ChunkSize)
+		for off := int64(0); off < cfg.FileSize; off += int64(cfg.ChunkSize) {
+			if _, err := tb.ReadFileAt(f, off, buf); err != nil {
+				return err
+			}
+		}
+		return tb.Close(f)
+	})
+	return res, err
+}
+
+// RandomRead reads every chunk once, in a random permutation.
+func RandomRead(tb *testbed.Testbed, cfg SeqRandConfig) (Result, error) {
+	if err := prepareFile(tb, "/rr.dat", cfg); err != nil {
+		return Result{}, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	n := int(cfg.FileSize / int64(cfg.ChunkSize))
+	perm := rng.Perm(n)
+	res, err := measure(tb, "rand-read", func() error {
+		f, err := tb.Open("/rr.dat")
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, cfg.ChunkSize)
+		for _, p := range perm {
+			if _, err := tb.ReadFileAt(f, int64(p)*int64(cfg.ChunkSize), buf); err != nil {
+				return err
+			}
+		}
+		return tb.Close(f)
+	})
+	return res, err
+}
+
+func patternChunk(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+// guard against silly configs in callers.
+func init() {
+	if DefaultSeqRand().FileSize%int64(DefaultSeqRand().ChunkSize) != 0 {
+		panic(fmt.Sprintf("workload: default seqrand misconfigured"))
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// TPCCConfig models the paper's TPC-C setup (Section 5.2) at its I/O
+// level: a database of 4 KB pages accessed randomly with a two-thirds
+// read bias, a sequential write-ahead log with group commit, and heavy
+// per-transaction client CPU (both stacks ran CPU-saturated clients,
+// Table 10). The paper used 300 warehouses on DB2; we parameterize the
+// database size instead of shipping a 30 GB dataset.
+type TPCCConfig struct {
+	DBSize       int64 // database file size (default 256 MB)
+	Transactions int   // number of transactions to run
+	PagesPerTxn  int   // page touches per transaction (default 12)
+	ReadFraction float64
+	TxnCPU time.Duration // client compute per transaction
+	// GroupCommit issues an explicit log fsync every N transactions.
+	// 0 (the default) relies on the filesystem's commit interval instead,
+	// which is how the measured configuration behaved: the async-export
+	// NFS server acknowledged COMMIT from memory, and ext3's 5 s journal
+	// commit bounded the iSCSI side. Non-zero values are the durability
+	// ablation (and show ext3's fsync-flushes-everything entanglement).
+	GroupCommit int
+	Seed        int64
+}
+
+// DefaultTPCC returns a laptop-scale configuration preserving the paper's
+// I/O profile.
+func DefaultTPCC() TPCCConfig {
+	return TPCCConfig{
+		DBSize:       256 << 20,
+		Transactions: 20000,
+		PagesPerTxn:  12,
+		ReadFraction: 2.0 / 3.0,
+		TxnCPU:       900 * time.Microsecond,
+		Seed:         99,
+	}
+}
+
+// TPCC runs the OLTP benchmark; Result.Throughput is transactions per
+// minute (the tpmC analogue, unaudited and normalized by callers).
+func TPCC(tb *testbed.Testbed, cfg TPCCConfig) (Result, error) {
+	rng := sim.NewRNG(cfg.Seed)
+	pages := cfg.DBSize / 4096
+	if pages <= 0 {
+		return Result{}, fmt.Errorf("tpcc: empty database")
+	}
+
+	// Load phase: build the database file and log, then start cold.
+	f, err := tb.Create("/tpcc.db")
+	if err != nil {
+		return Result{}, err
+	}
+	chunk := patternChunk(64<<10, 0xDB)
+	for off := int64(0); off < cfg.DBSize; off += int64(len(chunk)) {
+		if _, err := tb.WriteFileAt(f, off, chunk); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := tb.Close(f); err != nil {
+		return Result{}, err
+	}
+	if err := tb.WriteFile("/tpcc.log", nil); err != nil {
+		return Result{}, err
+	}
+	if err := tb.ColdCache(); err != nil {
+		return Result{}, err
+	}
+
+	res, err := measure(tb, "TPC-C", func() error {
+		db, err := tb.Open("/tpcc.db")
+		if err != nil {
+			return err
+		}
+		log, err := tb.Open("/tpcc.log")
+		if err != nil {
+			return err
+		}
+		logOff := int64(0)
+		page := make([]byte, 4096)
+		for t := 0; t < cfg.Transactions; t++ {
+			tb.Compute(cfg.TxnCPU)
+			for p := 0; p < cfg.PagesPerTxn; p++ {
+				pg := nuRand(rng, pages)
+				off := pg * 4096
+				if rng.Float64() < cfg.ReadFraction {
+					if _, err := tb.ReadFileAt(db, off, page); err != nil {
+						return err
+					}
+				} else {
+					if _, err := tb.ReadFileAt(db, off, page); err != nil {
+						return err
+					}
+					if _, err := tb.WriteFileAt(db, off, page); err != nil {
+						return err
+					}
+				}
+			}
+			// Write-ahead log record; group commit every GroupCommit txns.
+			rec := patternChunk(512, byte(t))
+			if _, err := tb.WriteFileAt(log, logOff, rec); err != nil {
+				return err
+			}
+			logOff += int64(len(rec))
+			if cfg.GroupCommit > 0 && t%cfg.GroupCommit == cfg.GroupCommit-1 {
+				done, err := log.Fsync(tb.Clock.Now())
+				if err != nil {
+					return err
+				}
+				tb.Clock.AdvanceTo(done)
+			}
+		}
+		if err := tb.Close(db); err != nil {
+			return err
+		}
+		return tb.Close(log)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Throughput = float64(cfg.Transactions) / res.Elapsed.Minutes()
+	return res, nil
+}
+
+// nuRand approximates TPC-C's skewed NURand access pattern over n pages:
+// a blend of uniform and hot-spot access.
+func nuRand(rng *rand.Rand, n int64) int64 {
+	a := rng.Int63n(n)
+	b := rng.Int63n(n / 8)
+	return (a | b) % n
+}

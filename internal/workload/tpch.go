@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// TPCHConfig models the paper's decision-support benchmark (Section 5.2)
+// at the I/O level: large sequential scans over the database in 32 KB
+// extents (the paper's DB2 extent size) with substantial per-extent CPU,
+// plus a sprinkling of random index probes. The paper used scale factor 1
+// (1 GB); the size is a parameter here.
+type TPCHConfig struct {
+	DBSize     int64 // database size (default 512 MB)
+	Queries    int   // queries to run (default 22, one "stream")
+	ExtentSize int   // scan unit (default 32 KB)
+	// ScanFraction is the fraction of the database each query scans.
+	ScanFraction float64
+	IndexProbes  int           // random 4 KB probes per query
+	ExtentCPU    time.Duration // client compute per extent scanned
+	Seed         int64
+}
+
+// DefaultTPCH returns a laptop-scale configuration.
+func DefaultTPCH() TPCHConfig {
+	return TPCHConfig{
+		DBSize:       512 << 20,
+		Queries:      22,
+		ExtentSize:   32 << 10,
+		ScanFraction: 0.35,
+		IndexProbes:  200,
+		ExtentCPU:    220 * time.Microsecond,
+		Seed:         1001,
+	}
+}
+
+// TPCH runs the benchmark; Result.Throughput is queries per hour (the
+// QphH analogue, unaudited and normalized by callers).
+func TPCH(tb *testbed.Testbed, cfg TPCHConfig) (Result, error) {
+	if cfg.DBSize <= 0 || cfg.ExtentSize <= 0 {
+		return Result{}, fmt.Errorf("tpch: bad config %+v", cfg)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+
+	// Load the database, then start cold.
+	f, err := tb.Create("/tpch.db")
+	if err != nil {
+		return Result{}, err
+	}
+	chunk := patternChunk(64<<10, 0xDD)
+	for off := int64(0); off < cfg.DBSize; off += int64(len(chunk)) {
+		if _, err := tb.WriteFileAt(f, off, chunk); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := tb.Close(f); err != nil {
+		return Result{}, err
+	}
+	if err := tb.ColdCache(); err != nil {
+		return Result{}, err
+	}
+
+	res, err := measure(tb, "TPC-H", func() error {
+		db, err := tb.Open("/tpch.db")
+		if err != nil {
+			return err
+		}
+		extent := make([]byte, cfg.ExtentSize)
+		extents := cfg.DBSize / int64(cfg.ExtentSize)
+		for q := 0; q < cfg.Queries; q++ {
+			// Sequential scan phase: start at a query-dependent offset.
+			scanExtents := int64(float64(extents) * cfg.ScanFraction)
+			start := rng.Int63n(extents)
+			for e := int64(0); e < scanExtents; e++ {
+				off := ((start + e) % extents) * int64(cfg.ExtentSize)
+				if _, err := tb.ReadFileAt(db, off, extent); err != nil {
+					return err
+				}
+				tb.Compute(cfg.ExtentCPU)
+			}
+			// Index probe phase: random 4 KB reads.
+			probe := make([]byte, 4096)
+			for p := 0; p < cfg.IndexProbes; p++ {
+				off := rng.Int63n(cfg.DBSize / 4096) * 4096
+				if _, err := tb.ReadFileAt(db, off, probe); err != nil {
+					return err
+				}
+			}
+		}
+		return tb.Close(db)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Throughput = float64(cfg.Queries) / res.Elapsed.Hours()
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBasics(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(42)
+	e.Int32(-7)
+	e.Uint64(1 << 40)
+	e.Int64(-(1 << 33))
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello xdr")
+	e.Opaque([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 42 {
+		t.Fatalf("u32 %d", v)
+	}
+	if v, _ := d.Int32(); v != -7 {
+		t.Fatalf("i32 %d", v)
+	}
+	if v, _ := d.Uint64(); v != 1<<40 {
+		t.Fatalf("u64 %d", v)
+	}
+	if v, _ := d.Int64(); v != -(1 << 33) {
+		t.Fatalf("i64 %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool1")
+	}
+	if v, _ := d.Bool(); v {
+		t.Fatal("bool2")
+	}
+	if v, _ := d.String(); v != "hello xdr" {
+		t.Fatalf("string %q", v)
+	}
+	if v, _ := d.Opaque(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("opaque %v", v)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestFourByteAlignment(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		e.Opaque(make([]byte, n))
+		if e.Len()%4 != 0 {
+			t.Fatalf("opaque(%d) not aligned: %d", n, e.Len())
+		}
+	}
+}
+
+// Property: any (u32, u64, string, opaque) tuple round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint32, b uint64, s string, o []byte) bool {
+		e := NewEncoder()
+		e.Uint32(a)
+		e.Uint64(b)
+		e.String(s)
+		e.Opaque(o)
+		d := NewDecoder(e.Bytes())
+		ga, err := d.Uint32()
+		if err != nil || ga != a {
+			return false
+		}
+		gb, err := d.Uint64()
+		if err != nil || gb != b {
+			return false
+		}
+		gs, err := d.String()
+		if err != nil || gs != s {
+			return false
+		}
+		gopq, err := d.Opaque()
+		if err != nil || !bytes.Equal(gopq, o) {
+			return false
+		}
+		return d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding truncated buffers errors instead of panicking.
+func TestQuickTruncationSafe(t *testing.T) {
+	f := func(s string, cut uint8) bool {
+		e := NewEncoder()
+		e.String(s)
+		buf := e.Bytes()
+		n := int(cut) % (len(buf) + 1)
+		d := NewDecoder(buf[:n])
+		_, err := d.String()
+		if n < len(buf) {
+			return err != nil
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
