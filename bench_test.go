@@ -9,6 +9,11 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -17,6 +22,67 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// benchJSON, when set, appends every headline metric as a JSON line, so CI
+// runs can accumulate a machine-readable perf trajectory across PRs:
+//
+//	go test -bench=. -benchjson=bench.jsonl .
+var benchJSON = flag.String("benchjson", "", "append headline benchmark metrics as JSON lines to this file")
+
+type benchRecord struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	N      int     `json:"n"`
+}
+
+// benchRecords holds the latest value per (bench, metric). The testing
+// framework re-invokes each benchmark while calibrating b.N, so records
+// are buffered (last calibration round wins) and flushed once in TestMain
+// — one JSON line per metric per `go test` run.
+var benchRecords = map[string]benchRecord{}
+
+// report records a headline metric as a testing.B custom metric and,
+// when -benchjson is set, as a JSON line {bench, metric, value, n}.
+func report(b *testing.B, value float64, metric string) {
+	b.ReportMetric(value, metric)
+	benchRecords[b.Name()+"\x00"+metric] = benchRecord{b.Name(), metric, value, b.N}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := flushBenchJSON(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// flushBenchJSON appends the buffered records in sorted key order.
+func flushBenchJSON() error {
+	if *benchJSON == "" || len(benchRecords) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(benchRecords))
+	for k := range benchRecords {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f, err := os.OpenFile(*benchJSON, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, k := range keys {
+		if err := enc.Encode(benchRecords[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // benchOpts keeps per-iteration work modest.
 func benchOpts() core.Options {
@@ -43,7 +109,7 @@ func BenchmarkTable2ColdCacheSyscalls(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(float64(total)/float64(b.N), "messages/iter")
+	report(b, float64(total)/float64(b.N), "messages/iter")
 }
 
 // BenchmarkTable3WarmCacheSyscalls regenerates Table 3 for the same subset.
@@ -65,7 +131,7 @@ func BenchmarkTable3WarmCacheSyscalls(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(float64(total)/float64(b.N), "messages/iter")
+	report(b, float64(total)/float64(b.N), "messages/iter")
 }
 
 // BenchmarkFigure3BatchingEffects regenerates the update-aggregation curve
@@ -83,7 +149,7 @@ func BenchmarkFigure3BatchingEffects(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(amortized, "msgs/op@256")
+	report(b, amortized, "msgs/op@256")
 }
 
 // BenchmarkFigure4DirectoryDepth regenerates the depth sweep at three
@@ -102,7 +168,7 @@ func BenchmarkFigure4DirectoryDepth(b *testing.B) {
 		}
 		slope = float64(d8-d0) / 8
 	}
-	b.ReportMetric(slope, "msgs/level")
+	report(b, slope, "msgs/level")
 }
 
 // BenchmarkFigure5ReadWriteSizes regenerates the size sweep at two sizes.
@@ -129,7 +195,7 @@ func BenchmarkTable4SequentialRandom(b *testing.B) {
 			}
 		}
 	}
-	b.ReportMetric(ratio, "nfs/iscsi-write-msgs")
+	report(b, ratio, "nfs/iscsi-write-msgs")
 }
 
 // BenchmarkFigure6LatencySweep regenerates two points of the latency sweep
@@ -148,7 +214,7 @@ func BenchmarkFigure6LatencySweep(b *testing.B) {
 			slowdown = hi / lo
 		}
 	}
-	b.ReportMetric(slowdown, "nfs-write-slowdown-10to50ms")
+	report(b, slowdown, "nfs-write-slowdown-10to50ms")
 }
 
 // BenchmarkTable5PostMark regenerates Table 5 at 2% scale and reports the
@@ -165,7 +231,7 @@ func BenchmarkTable5PostMark(b *testing.B) {
 			speedup = float64(r.NFS.Elapsed) / float64(r.ISCSI.Elapsed)
 		}
 	}
-	b.ReportMetric(speedup, "iscsi-speedup")
+	report(b, speedup, "iscsi-speedup")
 }
 
 // BenchmarkTable6TPCC regenerates Table 6 at 10% scale and reports the
@@ -179,7 +245,7 @@ func BenchmarkTable6TPCC(b *testing.B) {
 		}
 		norm = row.Normalized
 	}
-	b.ReportMetric(norm, "normalized-tpmC")
+	report(b, norm, "normalized-tpmC")
 }
 
 // BenchmarkTable7TPCH regenerates Table 7 at 10% scale and reports the
@@ -193,7 +259,7 @@ func BenchmarkTable7TPCH(b *testing.B) {
 		}
 		norm = row.Normalized
 	}
-	b.ReportMetric(norm, "normalized-QphH")
+	report(b, norm, "normalized-QphH")
 }
 
 // BenchmarkTable8OtherBenchmarks regenerates Table 8 at 25% scale and
@@ -209,7 +275,7 @@ func BenchmarkTable8OtherBenchmarks(b *testing.B) {
 			tarSpeedup = float64(rows[0].NFS.Elapsed) / float64(rows[0].ISCSI.Elapsed)
 		}
 	}
-	b.ReportMetric(tarSpeedup, "tar-speedup")
+	report(b, tarSpeedup, "tar-speedup")
 }
 
 // BenchmarkTable9ServerCPU regenerates the server CPU comparison on
@@ -238,7 +304,7 @@ func BenchmarkTable9ServerCPU(b *testing.B) {
 			ratio = nfsCPU / iscsiCPU
 		}
 	}
-	b.ReportMetric(ratio, "server-cpu-ratio")
+	report(b, ratio, "server-cpu-ratio")
 }
 
 // BenchmarkTable10ClientCPU regenerates the client CPU comparison on
@@ -267,7 +333,7 @@ func BenchmarkTable10ClientCPU(b *testing.B) {
 			ratio = iscsiCPU / nfsCPU
 		}
 	}
-	b.ReportMetric(ratio, "client-cpu-ratio")
+	report(b, ratio, "client-cpu-ratio")
 }
 
 // BenchmarkFigure7TraceSharing regenerates the sharing analysis.
@@ -290,5 +356,37 @@ func BenchmarkSection7Enhancements(b *testing.B) {
 		res := trace.SimulateDelegation(recs)
 		reduction = res.MessageReduction
 	}
-	b.ReportMetric(reduction*100, "delegation-reduction-%")
+	report(b, reduction*100, "delegation-reduction-%")
+}
+
+// BenchmarkScaling runs the multi-client cluster sweep at a small scale
+// and reports aggregate iSCSI and NFS v3 sequential-write throughput at 4
+// clients (the headline scaling metric for the perf trajectory).
+func BenchmarkScaling(b *testing.B) {
+	var iscsiMBps, nfsMBps float64
+	for i := 0; i < b.N; i++ {
+		cells, err := core.RunScaling(core.ScaleConfig{
+			Counts:       []int{4},
+			Workloads:    []string{"seq-write"},
+			Stacks:       []core.Stack{core.NFSv3, core.ISCSI},
+			FileSize:     1 << 20,
+			DeviceBlocks: 8192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Clients != 4 {
+				continue
+			}
+			switch c.Stack {
+			case core.ISCSI:
+				iscsiMBps = c.AggBytesPerSec / 1e6
+			case core.NFSv3:
+				nfsMBps = c.AggBytesPerSec / 1e6
+			}
+		}
+	}
+	report(b, iscsiMBps, "iscsi-agg-MBps@4c")
+	report(b, nfsMBps, "nfsv3-agg-MBps@4c")
 }

@@ -1,0 +1,65 @@
+// Command scale runs the multi-client scaling experiment: N concurrent
+// clients (1..16) drive one simulated server on each of the four protocol
+// stacks, and the table reports aggregate throughput, per-client latency
+// and server CPU utilization — the cluster extension of the paper's
+// single-client comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	clients := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
+	workloads := flag.String("workloads", "seq-write,rand-read,postmark",
+		"comma-separated workloads ("+strings.Join(core.ScaleWorkloads, ",")+")")
+	sizeMB := flag.Int64("size", 4, "per-client file size in MB (seq/rand workloads)")
+	pmFiles := flag.Int("pm-files", 50, "per-client PostMark pool size")
+	pmTxns := flag.Int("pm-txns", 250, "per-client PostMark transactions")
+	seed := flag.Int64("seed", 0, "workload seed")
+	flag.Parse()
+
+	var counts []int
+	for _, s := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "scale: bad client count %q\n", s)
+			os.Exit(1)
+		}
+		counts = append(counts, n)
+	}
+	var wls []string
+	for _, s := range strings.Split(*workloads, ",") {
+		wl := strings.TrimSpace(s)
+		known := false
+		for _, k := range core.ScaleWorkloads {
+			known = known || wl == k
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "scale: unknown workload %q (have %s)\n",
+				wl, strings.Join(core.ScaleWorkloads, ", "))
+			os.Exit(1)
+		}
+		wls = append(wls, wl)
+	}
+
+	cells, err := core.RunScaling(core.ScaleConfig{
+		Counts:               counts,
+		Workloads:            wls,
+		FileSize:             *sizeMB << 20,
+		PostMarkFiles:        *pmFiles,
+		PostMarkTransactions: *pmTxns,
+		Seed:                 *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
+	core.RenderScaling(os.Stdout, cells)
+}

@@ -89,6 +89,9 @@ func (s *Store) Populated() int { return len(s.blocks) }
 type Local struct {
 	store *Store
 	raid  *simdisk.RAID5
+	// offset maps this device's block 0 to a physical array block, so
+	// several Locals (LUNs) can partition one shared array.
+	offset int64
 	// FailReads/FailWrites inject I/O errors when set (failure testing).
 	FailReads, FailWrites bool
 }
@@ -96,6 +99,12 @@ type Local struct {
 // NewLocal wraps store with raid timing.
 func NewLocal(store *Store, raid *simdisk.RAID5) *Local {
 	return &Local{store: store, raid: raid}
+}
+
+// NewLocalAt wraps store with raid timing, mapping the device's block 0 to
+// physical block offset on the array: one LUN of a shared array.
+func NewLocalAt(store *Store, raid *simdisk.RAID5, offset int64) *Local {
+	return &Local{store: store, raid: raid, offset: offset}
 }
 
 // NewTestbedArray builds the paper's storage subsystem: a 4+p RAID-5 array
@@ -109,6 +118,34 @@ func NewTestbedArray(numBlocks int64) *Local {
 		panic(err) // static configuration; cannot fail
 	}
 	return NewLocal(NewStore(numBlocks, 4096), raid)
+}
+
+// NewClusterArray builds one shared 4+p RAID-5 array partitioned into n
+// LUNs of numBlocks 4 KB blocks each: the storage side of a multi-client
+// iSCSI testbed, where every client owns a volume but all volumes contend
+// for the same spindles.
+func NewClusterArray(n int, numBlocks int64) []*Local {
+	if n < 1 {
+		n = 1
+	}
+	p := simdisk.Ultra160()
+	// Size members exactly like NewTestbedArray would for the same
+	// aggregate capacity (n*numBlocks per member, 4x logical slack), so
+	// the seek model — which scales with member capacity — is identical
+	// whether the array backs one NFS export or n iSCSI LUNs. Round up
+	// to the stripe unit so the top of the address space cannot map past
+	// a member's last block.
+	const stripeUnit = 8
+	p.Blocks = (int64(n)*numBlocks + stripeUnit - 1) / stripeUnit * stripeUnit
+	raid, err := simdisk.NewRAID5(5, p, stripeUnit)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	luns := make([]*Local, n)
+	for i := range luns {
+		luns[i] = NewLocalAt(NewStore(numBlocks, 4096), raid, int64(i)*numBlocks)
+	}
+	return luns
 }
 
 // BlockSize returns the block size in bytes.
@@ -141,7 +178,7 @@ func (l *Local) ReadBlocks(start time.Duration, lba int64, buf []byte) (time.Dur
 			return start, err
 		}
 	}
-	return l.raid.Read(start, lba, n)
+	return l.raid.Read(start, l.offset+lba, n)
 }
 
 // WriteBlocks implements Device.
@@ -159,7 +196,7 @@ func (l *Local) WriteBlocks(start time.Duration, lba int64, data []byte) (time.D
 			return start, err
 		}
 	}
-	return l.raid.Write(start, lba, n)
+	return l.raid.Write(start, l.offset+lba, n)
 }
 
 // Flush implements Device; the local array's write-back cache drains by

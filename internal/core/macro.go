@@ -209,11 +209,11 @@ func RunTable8(opts Options, scale MacroScale) ([]Table8Row, error) {
 
 // CPURow is one Table 9/10 row: 95th-percentile utilizations.
 type CPURow struct {
-	Benchmark        string
-	NFSServer        float64
-	ISCSIServer      float64
-	NFSClient        float64
-	ISCSIClient      float64
+	Benchmark   string
+	NFSServer   float64
+	ISCSIServer float64
+	NFSClient   float64
+	ISCSIClient float64
 }
 
 // RunTable9And10 reproduces Tables 9 and 10: server and client CPU

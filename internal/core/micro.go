@@ -33,8 +33,8 @@ func touch(tb *testbed.Testbed, path string) error {
 // rename appears in Table 2 as a seventeenth row).
 var MicroOps = []MicroOp{
 	{
-		Name: "mkdir",
-		Cold: func(tb *testbed.Testbed, d string) error { return tb.Mkdir(join(d, "n0")) },
+		Name:      "mkdir",
+		Cold:      func(tb *testbed.Testbed, d string) error { return tb.Mkdir(join(d, "n0")) },
 		WarmPrime: func(tb *testbed.Testbed, d string) error { return tb.Mkdir(join(d, "w1")) },
 		Warm:      func(tb *testbed.Testbed, d string) error { return tb.Mkdir(join(d, "w2")) },
 	},
@@ -77,8 +77,8 @@ var MicroOps = []MicroOp{
 		},
 	},
 	{
-		Name: "symlink",
-		Cold: func(tb *testbed.Testbed, d string) error { return tb.Symlink("target", join(d, "s0")) },
+		Name:      "symlink",
+		Cold:      func(tb *testbed.Testbed, d string) error { return tb.Symlink("target", join(d, "s0")) },
 		WarmPrime: func(tb *testbed.Testbed, d string) error { return tb.Symlink("target", join(d, "s1")) },
 		Warm:      func(tb *testbed.Testbed, d string) error { return tb.Symlink("target", join(d, "s2")) },
 	},
@@ -129,8 +129,8 @@ var MicroOps = []MicroOp{
 		Warm:      func(tb *testbed.Testbed, d string) error { return tb.Rmdir(join(d, "r2")) },
 	},
 	{
-		Name: "creat",
-		Cold: func(tb *testbed.Testbed, d string) error { return touch(tb, join(d, "c0")) },
+		Name:      "creat",
+		Cold:      func(tb *testbed.Testbed, d string) error { return touch(tb, join(d, "c0")) },
 		WarmPrime: func(tb *testbed.Testbed, d string) error { return touch(tb, join(d, "c1")) },
 		Warm:      func(tb *testbed.Testbed, d string) error { return touch(tb, join(d, "c2")) },
 	},

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Scaling experiment: the cluster extension of the paper's single-client
+// comparison. N concurrent clients drive one server (shared Gigabit
+// segment, shared server CPU, shared RAID-5 array) and we record how
+// aggregate throughput, per-client latency and server CPU utilization
+// move as the client count grows — the production-relevant view of the
+// paper's Section 4/5 contrasts.
+
+// ScaleWorkloads lists the supported scaling workloads.
+var ScaleWorkloads = []string{"seq-write", "seq-read", "rand-read", "rand-write", "postmark"}
+
+// ScaleConfig parameterizes the scaling sweep.
+type ScaleConfig struct {
+	// Counts are the cluster sizes to sweep (default 1,2,4,8,16).
+	Counts []int
+	// Workloads to run (default seq-write, rand-read, postmark).
+	Workloads []string
+	// Stacks restricts the sweep (default all four).
+	Stacks []Stack
+	// FileSize is the per-client file size for the seq/rand workloads
+	// (default 4 MB).
+	FileSize int64
+	// ChunkSize is the per-op transfer unit (default 4 KB).
+	ChunkSize int
+	// PostMarkFiles / PostMarkTransactions size each client's PostMark
+	// run (default 50 files, 250 transactions).
+	PostMarkFiles        int
+	PostMarkTransactions int
+	// DeviceBlocks is the per-client volume size in 4 KB blocks
+	// (default 16384 = 64 MB; the NFS export is scaled by client count).
+	DeviceBlocks int64
+	// Seed for workload randomness.
+	Seed int64
+}
+
+func (c *ScaleConfig) fill() {
+	if len(c.Counts) == 0 {
+		c.Counts = []int{1, 2, 4, 8, 16}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"seq-write", "rand-read", "postmark"}
+	}
+	if len(c.Stacks) == 0 {
+		c.Stacks = testbed.AllKinds
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 4 << 20
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.PostMarkFiles == 0 {
+		c.PostMarkFiles = 50
+	}
+	if c.PostMarkTransactions == 0 {
+		c.PostMarkTransactions = 250
+	}
+	if c.DeviceBlocks == 0 {
+		c.DeviceBlocks = 16384
+		// Grow the per-client volume with the working set: the file (or
+		// PostMark pool at its maximum ~10 KB per file) plus 2x slack
+		// for journal, metadata and layout overhead.
+		working := c.FileSize
+		if pool := int64(c.PostMarkFiles+c.PostMarkTransactions) * 10000; pool > working {
+			working = pool
+		}
+		if need := working / 4096 * 2; need > c.DeviceBlocks {
+			c.DeviceBlocks = need
+		}
+	}
+}
+
+// ScaleCell is one (workload, stack, client-count) measurement.
+type ScaleCell struct {
+	Workload string
+	Stack    Stack
+	Clients  int
+
+	// Elapsed is the cluster-wide measured window (run + drain).
+	Elapsed time.Duration
+	// AggBytesPerSec is aggregate data throughput (seq/rand workloads).
+	AggBytesPerSec float64
+	// AggOpsPerSec is aggregate syscall throughput.
+	AggOpsPerSec float64
+	// PerClientLatency is the mean per-syscall latency across clients
+	// during the run phase (drain excluded).
+	PerClientLatency time.Duration
+	// ServerCPU is mean server CPU utilization over the window.
+	ServerCPU float64
+	// Messages is the protocol transaction count over the window.
+	Messages int64
+}
+
+// RunScaling sweeps client counts for every stack and workload.
+func RunScaling(cfg ScaleConfig) ([]ScaleCell, error) {
+	cfg.fill()
+	var cells []ScaleCell
+	for _, wl := range cfg.Workloads {
+		for _, stack := range cfg.Stacks {
+			for _, n := range cfg.Counts {
+				cell, err := runScaleCell(cfg, wl, stack, n)
+				if err != nil {
+					return nil, fmt.Errorf("scale %s/%v/%d: %w", wl, stack, n, err)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// clientDir returns client i's private directory.
+func clientDir(i int) string { return fmt.Sprintf("/c%d", i) }
+
+// runScaleCell builds one cluster and measures one workload on it.
+func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int) (ScaleCell, error) {
+	dev := cfg.DeviceBlocks
+	if stack != ISCSI {
+		// One shared export must hold every client's working set.
+		dev *= int64(n)
+	}
+	cl, err := testbed.NewCluster(testbed.ClusterConfig{
+		Kind:         stack,
+		Clients:      n,
+		DeviceBlocks: dev,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return ScaleCell{}, err
+	}
+
+	src := workload.SeqRandConfig{FileSize: cfg.FileSize, ChunkSize: cfg.ChunkSize}
+
+	// Unmeasured setup: per-client directories, plus file layout and a
+	// cluster-wide cold cache for the read workloads.
+	for i, c := range cl.Clients {
+		if err := c.Mkdir(clientDir(i)); err != nil {
+			return ScaleCell{}, err
+		}
+	}
+	if wl == "seq-read" || wl == "rand-read" {
+		prep := make([]func() (bool, error), n)
+		for i, c := range cl.Clients {
+			pc := src
+			pc.Seed = cfg.Seed + int64(i)
+			prep[i] = workload.PrepareFileSteps(c, clientDir(i)+"/f", pc)
+		}
+		if err := cl.Run(prep); err != nil {
+			return ScaleCell{}, err
+		}
+		if err := cl.ColdCache(); err != nil {
+			return ScaleCell{}, err
+		}
+	}
+	cl.Align()
+
+	// Build the measured drivers.
+	drivers := make([]func() (bool, error), n)
+	var aggBytes int64
+	for i, c := range cl.Clients {
+		pc := src
+		pc.Seed = cfg.Seed + int64(i)
+		path := clientDir(i) + "/f"
+		switch wl {
+		case "seq-write":
+			drivers[i] = workload.SequentialWriteSteps(c, path, pc)
+			aggBytes += pc.SeqBytes()
+		case "rand-write":
+			drivers[i] = workload.RandomWriteSteps(c, path, pc)
+			aggBytes += pc.RandBytes()
+		case "seq-read":
+			drivers[i] = workload.SequentialReadSteps(c, path, pc)
+			aggBytes += pc.SeqBytes()
+		case "rand-read":
+			drivers[i] = workload.RandomReadSteps(c, path, pc)
+			aggBytes += pc.RandBytes()
+		case "postmark":
+			pm := workload.PostMarkConfig{
+				Files:        cfg.PostMarkFiles,
+				Transactions: cfg.PostMarkTransactions,
+				MinSize:      500,
+				MaxSize:      10000,
+				Seed:         cfg.Seed + 42 + int64(i),
+				Dir:          clientDir(i) + "/pm",
+			}
+			steps, _, err := workload.PostMarkSteps(c, pm)
+			if err != nil {
+				return ScaleCell{}, err
+			}
+			drivers[i] = steps
+		default:
+			return ScaleCell{}, fmt.Errorf("unknown scaling workload %q", wl)
+		}
+	}
+
+	// Measured window: interleaved run, then drain to quiescence.
+	before := cl.Snap()
+	startOps := make([]int64, n)
+	startT := make([]time.Duration, n)
+	for i, c := range cl.Clients {
+		startOps[i] = c.Ops()
+		startT[i] = c.Clock.Now()
+	}
+	if err := cl.Run(drivers); err != nil {
+		return ScaleCell{}, err
+	}
+	var latSum time.Duration
+	var totalOps int64
+	for i, c := range cl.Clients {
+		ops := c.Ops() - startOps[i]
+		totalOps += ops
+		if ops > 0 {
+			latSum += (c.Clock.Now() - startT[i]) / time.Duration(ops)
+		}
+	}
+	if err := cl.Drain(); err != nil {
+		return ScaleCell{}, err
+	}
+	d := cl.Since(before)
+	elapsed := d.Elapsed
+	if elapsed <= 0 {
+		elapsed = time.Millisecond
+	}
+	secs := elapsed.Seconds()
+	return ScaleCell{
+		Workload:         wl,
+		Stack:            stack,
+		Clients:          n,
+		Elapsed:          elapsed,
+		AggBytesPerSec:   float64(aggBytes) / secs,
+		AggOpsPerSec:     float64(totalOps) / secs,
+		PerClientLatency: latSum / time.Duration(n),
+		ServerCPU:        float64(d.ServerBusy) / float64(elapsed),
+		Messages:         d.Messages,
+	}, nil
+}
+
+// RenderScaling prints the sweep grouped by workload: one row block per
+// metric, stacks as rows, client counts as columns.
+func RenderScaling(w io.Writer, cells []ScaleCell) {
+	// Preserve encounter order of workloads and counts.
+	var workloads []string
+	var counts []int
+	seenW := map[string]bool{}
+	seenC := map[int]bool{}
+	cell := map[string]map[Stack]map[int]ScaleCell{}
+	for _, c := range cells {
+		if !seenW[c.Workload] {
+			seenW[c.Workload] = true
+			workloads = append(workloads, c.Workload)
+			cell[c.Workload] = map[Stack]map[int]ScaleCell{}
+		}
+		if !seenC[c.Clients] {
+			seenC[c.Clients] = true
+			counts = append(counts, c.Clients)
+		}
+		if cell[c.Workload][c.Stack] == nil {
+			cell[c.Workload][c.Stack] = map[int]ScaleCell{}
+		}
+		cell[c.Workload][c.Stack][c.Clients] = c
+	}
+
+	row := func(byCount map[int]ScaleCell, f func(ScaleCell) string) string {
+		out := ""
+		for _, n := range counts {
+			c, ok := byCount[n]
+			if !ok {
+				out += fmt.Sprintf(" %9s", "-")
+				continue
+			}
+			out += fmt.Sprintf(" %9s", f(c))
+		}
+		return out
+	}
+
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "Scaling: %s (clients sharing one server)\n", wl)
+		fmt.Fprintf(w, "%-22s", "clients")
+		for _, n := range counts {
+			fmt.Fprintf(w, " %9d", n)
+		}
+		fmt.Fprintln(w)
+		for _, stack := range testbed.AllKinds {
+			byCount := cell[wl][stack]
+			if byCount == nil {
+				continue
+			}
+			if wl == "postmark" {
+				fmt.Fprintf(w, "%-22s%s\n", stack.String()+" kops/s",
+					row(byCount, func(c ScaleCell) string {
+						return fmt.Sprintf("%.1f", c.AggOpsPerSec/1000)
+					}))
+			} else {
+				fmt.Fprintf(w, "%-22s%s\n", stack.String()+" MB/s",
+					row(byCount, func(c ScaleCell) string {
+						return fmt.Sprintf("%.1f", c.AggBytesPerSec/1e6)
+					}))
+			}
+			fmt.Fprintf(w, "%-22s%s\n", "  per-op latency",
+				row(byCount, func(c ScaleCell) string {
+					return c.PerClientLatency.Round(time.Microsecond).String()
+				}))
+			fmt.Fprintf(w, "%-22s%s\n", "  server CPU",
+				row(byCount, func(c ScaleCell) string {
+					return fmt.Sprintf("%.0f%%", c.ServerCPU*100)
+				}))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// scaleTestConfig keeps the sweep small enough for unit tests.
+func scaleTestConfig(workloads []string) ScaleConfig {
+	return ScaleConfig{
+		Counts:               []int{1, 2, 4},
+		Workloads:            workloads,
+		FileSize:             512 << 10,
+		PostMarkFiles:        10,
+		PostMarkTransactions: 50,
+		DeviceBlocks:         8192,
+		Seed:                 3,
+	}
+}
+
+// TestScalingShape checks the acceptance properties on a small sweep:
+// aggregate throughput does not collapse as clients are added, per-client
+// latency is monotone non-decreasing, and the server does strictly more
+// work for more clients.
+func TestScalingShape(t *testing.T) {
+	cells, err := RunScaling(scaleTestConfig([]string{"seq-write"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStack := map[Stack][]ScaleCell{}
+	for _, c := range cells {
+		byStack[c.Stack] = append(byStack[c.Stack], c)
+	}
+	for stack, cs := range byStack {
+		if len(cs) != 3 {
+			t.Fatalf("%v: %d cells", stack, len(cs))
+		}
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Clients <= cs[i-1].Clients {
+				t.Fatalf("%v: counts out of order", stack)
+			}
+			// Aggregate throughput must not drop as load is added (it
+			// may plateau at saturation).
+			if cs[i].AggBytesPerSec < cs[i-1].AggBytesPerSec*0.99 {
+				t.Errorf("%v: aggregate throughput fell %d->%d clients: %.0f -> %.0f B/s",
+					stack, cs[i-1].Clients, cs[i].Clients,
+					cs[i-1].AggBytesPerSec, cs[i].AggBytesPerSec)
+			}
+			// Per-client latency can only get worse under contention.
+			if cs[i].PerClientLatency < cs[i-1].PerClientLatency {
+				t.Errorf("%v: latency improved under contention: %v -> %v",
+					stack, cs[i-1].PerClientLatency, cs[i].PerClientLatency)
+			}
+		}
+		if cs[2].Messages <= cs[0].Messages {
+			t.Errorf("%v: 4 clients produced no more messages than 1", stack)
+		}
+	}
+}
+
+// TestScalingDeterministic renders a small sweep twice; the output must be
+// byte-identical (same seed, same virtual timeline).
+func TestScalingDeterministic(t *testing.T) {
+	render := func() []byte {
+		cells, err := RunScaling(scaleTestConfig([]string{"seq-write", "postmark"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		RenderScaling(&buf, cells)
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("scaling sweep not deterministic:\n%s\n----\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestScalingReadWorkloads covers the cold-cache prepare path of the read
+// workloads on a minimal sweep.
+func TestScalingReadWorkloads(t *testing.T) {
+	cfg := scaleTestConfig([]string{"rand-read"})
+	cfg.Counts = []int{1, 2}
+	cells, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Messages == 0 {
+			t.Errorf("%v/%d: cold reads generated no messages", c.Stack, c.Clients)
+		}
+		if c.AggBytesPerSec <= 0 {
+			t.Errorf("%v/%d: no throughput", c.Stack, c.Clients)
+		}
+	}
+}

@@ -29,11 +29,11 @@ type bcacheStats struct {
 // way Linux treats ext3 data and meta-data blocks. Dirty and pinned blocks
 // are never evicted; the journal cleans them at commit/checkpoint time.
 type bcache struct {
-	dev    blockdev.Device
-	max    int
-	blocks map[int64]*buffer
-	lru    *list.List // front = most recently used
-	stats  bcacheStats
+	dev       blockdev.Device
+	max       int
+	blocks    map[int64]*buffer
+	lru       *list.List // front = most recently used
+	stats     bcacheStats
 	dirtyData map[int64]*buffer // dirty non-journaled (file data) blocks
 }
 

@@ -168,9 +168,9 @@ func Mkfs(at time.Duration, dev blockdev.Device, opts Options) (time.Duration, e
 		return done, err
 	}
 	root := &Inode{
-		Mode:  uint16(vfs.ModeDir | 0o755),
-		Links: 2,
-		Size:  BlockSize,
+		Mode:   uint16(vfs.ModeDir | 0o755),
+		Links:  2,
+		Size:   BlockSize,
 		Blocks: 1,
 	}
 	root.Direct[0] = uint32(rootDataLBA)

@@ -35,7 +35,7 @@ const (
 	MaxNameLen     = 255
 
 	// RootIno is the root directory's inode number (as in ext2).
-	RootIno Ino = 2
+	RootIno  Ino = 2
 	firstIno Ino = 3 // first allocatable inode
 
 	sbMagic      uint64 = 0x4558543353494D31 // "EXT3SIM1"
@@ -108,20 +108,20 @@ func decodeSuperblock(b []byte) (*superblock, error) {
 
 // Inode is the in-memory (and, encoded, on-disk) inode.
 type Inode struct {
-	Mode    uint16 // type + permissions (vfs.Mode layout)
-	Links   uint16
-	UID     uint32
-	GID     uint32
-	Size    uint64
-	Atime   int64 // virtual ns since boot
-	Mtime   int64
-	Ctime   int64
-	Blocks  uint32 // allocated data blocks (including indirect blocks)
-	Direct  [DirectBlocks]uint32
-	Ind     uint32 // single indirect block
-	DInd    uint32 // double indirect block
-	Gen     uint32
-	Flags   uint32
+	Mode   uint16 // type + permissions (vfs.Mode layout)
+	Links  uint16
+	UID    uint32
+	GID    uint32
+	Size   uint64
+	Atime  int64 // virtual ns since boot
+	Mtime  int64
+	Ctime  int64
+	Blocks uint32 // allocated data blocks (including indirect blocks)
+	Direct [DirectBlocks]uint32
+	Ind    uint32 // single indirect block
+	DInd   uint32 // double indirect block
+	Gen    uint32
+	Flags  uint32
 }
 
 // encodeInode writes the inode into a 128-byte slot.

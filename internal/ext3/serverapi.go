@@ -45,11 +45,11 @@ func (fs *FS) GetAttrAt(at time.Duration, ino Ino) (vfs.Stat, time.Duration, err
 // SetAttrAt applies a partial attribute update (chmod/chown/utimes/truncate
 // combined, like the NFS SETATTR procedure).
 type SetAttr struct {
-	Mode       *vfs.Mode
-	UID, GID   *uint32
-	Size       *int64
-	Atime      *time.Duration
-	Mtime      *time.Duration
+	Mode     *vfs.Mode
+	UID, GID *uint32
+	Size     *int64
+	Atime    *time.Duration
+	Mtime    *time.Duration
 }
 
 // SetAttrAt applies sa to ino and returns the new attributes.

@@ -72,7 +72,7 @@ type Client struct {
 	dataTTL time.Duration
 
 	// Tunables (exported for ablation benchmarks).
-	ReadAheadPages int // client read-ahead, in pages
+	ReadAheadPages   int // client read-ahead, in pages
 	MaxPendingWrites int // async-write pool bound (pages); beyond it the
 	// client degenerates to pseudo-synchronous writes (Section 4.5)
 	FlushWindow int // in-flight WRITE RPCs during a flush

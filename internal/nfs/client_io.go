@@ -113,12 +113,12 @@ func (c *Client) fileState(ino uint64) *fileState {
 // — the pseudo-synchronous degeneration the paper identifies as the cause
 // of NFS's poor write performance (Section 4.5, Table 4, Figure 6b).
 type writeBehind struct {
-	c        *Client
-	queue    []pageKey
-	queued   map[pageKey]bool
-	inflight []time.Duration // completion times of recent WRITE RPCs
-	horizon  time.Duration
-	issued   int // pages issued since the last stall/drain
+	c                *Client
+	queue            []pageKey
+	queued           map[pageKey]bool
+	inflight         []time.Duration // completion times of recent WRITE RPCs
+	horizon          time.Duration
+	issued           int // pages issued since the last stall/drain
 	dirtySinceCommit bool
 
 	// pseudoSync latches once the pool has overflowed: from then on the

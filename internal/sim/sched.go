@@ -1,0 +1,140 @@
+package sim
+
+import "time"
+
+// Proc is one interleaved timeline in a multi-driver simulation: a Clock of
+// its own plus a step function that issues the next operation at the
+// clock's current time and advances it to the completion. A single-client
+// simulation is the degenerate case of one Proc driven to completion.
+type Proc struct {
+	clock *Clock
+	step  func() (more bool, err error)
+	done  bool
+	steps int64
+	err   error
+}
+
+// Clock returns the process's timeline.
+func (p *Proc) Clock() *Clock { return p.clock }
+
+// Done reports whether the process has finished (or failed).
+func (p *Proc) Done() bool { return p.done }
+
+// Steps reports how many steps the process has executed.
+func (p *Proc) Steps() int64 { return p.steps }
+
+// Err returns the error that terminated the process, if any.
+func (p *Proc) Err() error { return p.err }
+
+// Scheduler coordinates multiple processes, each on its own Clock, over
+// shared busy-until resources. At every tick it steps the process whose
+// clock is earliest (ties broken by registration order), so operations
+// from concurrent drivers reach shared Resources in global virtual-time
+// order and the whole interleaving is deterministic run-to-run.
+//
+// Correct contention comes from the Resource busy-until semantics; the
+// scheduler's only job is to interleave the *drivers* so that no process
+// can issue an operation "in the past" of a slower peer.
+type Scheduler struct {
+	procs []*Proc
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Spawn registers a process with its own clock and step function. The step
+// function performs one operation starting at clock.Now(), advances the
+// clock to its completion, and returns more=false when the driver has no
+// further work (that final call may still have performed work).
+func (s *Scheduler) Spawn(clock *Clock, step func() (more bool, err error)) *Proc {
+	p := &Proc{clock: clock, step: step}
+	s.procs = append(s.procs, p)
+	return p
+}
+
+// next returns the earliest-clock live process, or nil when all are done.
+func (s *Scheduler) next() *Proc {
+	var best *Proc
+	for _, p := range s.procs {
+		if p.done {
+			continue
+		}
+		if best == nil || p.clock.Now() < best.clock.Now() {
+			best = p
+		}
+	}
+	return best
+}
+
+// Step executes one step of the earliest live process. It reports whether
+// any live process remains afterwards. A step error marks its process done
+// and is returned immediately.
+func (s *Scheduler) Step() (more bool, err error) {
+	p := s.next()
+	if p == nil {
+		return false, nil
+	}
+	cont, err := p.step()
+	p.steps++
+	if err != nil {
+		p.done = true
+		p.err = err
+		return s.next() != nil, err
+	}
+	if !cont {
+		p.done = true
+	}
+	return s.next() != nil, nil
+}
+
+// Run interleaves all processes to completion, stopping at the first error.
+func (s *Scheduler) Run() error {
+	for {
+		more, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// clocks returns every registered process clock.
+func (s *Scheduler) clocks() []*Clock {
+	cs := make([]*Clock, len(s.procs))
+	for i, p := range s.procs {
+		cs[i] = p.clock
+	}
+	return cs
+}
+
+// Horizon reports the latest clock across all registered processes: the
+// wall-clock analogue of "when the last client finished".
+func (s *Scheduler) Horizon() time.Duration { return Horizon(s.clocks()) }
+
+// Align advances every process clock to the scheduler horizon (a barrier:
+// the point where a cluster-wide measurement window can close) and returns
+// that time.
+func (s *Scheduler) Align() time.Duration { return Align(s.clocks()) }
+
+// Horizon reports the latest time across a set of clocks.
+func Horizon(clocks []*Clock) time.Duration {
+	var h time.Duration
+	for _, c := range clocks {
+		if t := c.Now(); t > h {
+			h = t
+		}
+	}
+	return h
+}
+
+// Align advances every clock to the set's horizon (a barrier) and returns
+// that time.
+func Align(clocks []*Clock) time.Duration {
+	h := Horizon(clocks)
+	for _, c := range clocks {
+		c.AdvanceTo(h)
+	}
+	return h
+}

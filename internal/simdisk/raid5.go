@@ -16,10 +16,10 @@ import (
 // read-modify-write penalty (read old data + old parity, write new data +
 // new parity).
 type RAID5 struct {
-	disks        []*Disk
-	stripeUnit   int   // blocks per stripe unit
-	dataBlocks   int64 // logical capacity in blocks
-	stats        metrics.DiskStats
+	disks       []*Disk
+	stripeUnit  int   // blocks per stripe unit
+	dataBlocks  int64 // logical capacity in blocks
+	stats       metrics.DiskStats
 	writebackOn bool // controller write-back cache absorbs some latency
 
 	// streamTails tracks the ends of recent write streams; appends that

@@ -1,0 +1,256 @@
+package testbed
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Client is one simulated client machine: its own virtual clock and CPU, a
+// mounted protocol stack, and the clock-advancing syscall surface the
+// workloads drive. A Testbed embeds one Client; a Cluster holds N of them
+// sharing the server-side hardware.
+type Client struct {
+	// ID distinguishes clients within a cluster (0 in a single testbed).
+	ID int
+	// Clock is this client's timeline.
+	Clock *sim.Clock
+	// CPU is the client's processor (the paper's 1 GHz uniprocessor).
+	CPU *sim.CPU
+	// Stack is the mounted protocol stack.
+	Stack Stack
+	// FS is the client-visible filesystem (tracks Stack.FS across
+	// cold-cache remounts).
+	FS vfs.FileSystem
+	// Env adds cwd handling on top of FS.
+	Env *vfs.Env
+
+	ops int64
+}
+
+// newClient assembles an unmounted client around a stack.
+func newClient(id int, st Stack) *Client {
+	return &Client{ID: id, Clock: sim.NewClock(), Stack: st}
+}
+
+// mount brings the client's stack up at the clock's current time.
+func (c *Client) mount() error {
+	done, err := c.Stack.Mount(c.Clock.Now())
+	if err != nil {
+		return err
+	}
+	c.Clock.AdvanceTo(done)
+	c.syncFS()
+	return nil
+}
+
+// syncFS refreshes FS/Env after operations that can replace the
+// client-visible filesystem (cold-cache remounts).
+func (c *Client) syncFS() {
+	c.FS = c.Stack.FS()
+	if c.Env == nil {
+		c.Env = vfs.NewEnv(c.FS)
+	} else {
+		c.Env.FS = c.FS
+	}
+}
+
+// Drain flushes this client's dirty state to stable server storage and
+// advances its clock to quiescence.
+func (c *Client) Drain() error {
+	done, err := c.Stack.Drain(c.Clock.Now())
+	if err != nil {
+		return err
+	}
+	c.Clock.AdvanceTo(done)
+	return nil
+}
+
+// ColdCache empties every cache the client's stack controls (client
+// remount plus server restart for NFS) after draining.
+func (c *Client) ColdCache() error {
+	if err := c.Drain(); err != nil {
+		return err
+	}
+	done, err := c.Stack.ColdCache(c.Clock.Now())
+	if err != nil {
+		return err
+	}
+	c.Clock.AdvanceTo(done)
+	c.syncFS()
+	return nil
+}
+
+// Ops reports how many syscalls the client has issued (a scaling metric).
+func (c *Client) Ops() int64 { return c.ops }
+
+// Idle advances the client's clock without work (the warm-cache gap: long
+// enough to expire the client attribute cache and trigger a journal
+// commit interval, as elapsed wall-clock does between manual invocations).
+func (c *Client) Idle(d time.Duration) { c.Clock.Advance(d) }
+
+// Compute charges application CPU on the client and advances the clock
+// (workloads use it to model their own processing, e.g. DB2's query work).
+func (c *Client) Compute(d time.Duration) {
+	c.Clock.AdvanceTo(c.CPU.Run(c.Clock.Now(), d))
+}
+
+// ---- clock-advancing syscall wrappers (workload surface) ----
+
+// run advances the clock to the completion of op.
+func (c *Client) run(done time.Duration, err error) error {
+	c.Clock.AdvanceTo(done)
+	c.ops++
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	done, err := c.FS.Mkdir(c.Clock.Now(), c.Env.Abs(path), 0o755)
+	return c.run(done, err)
+}
+
+// Rmdir removes a directory.
+func (c *Client) Rmdir(path string) error {
+	done, err := c.FS.Rmdir(c.Clock.Now(), c.Env.Abs(path))
+	return c.run(done, err)
+}
+
+// Chdir changes the working directory.
+func (c *Client) Chdir(path string) error {
+	done, err := c.Env.Chdir(c.Clock.Now(), path)
+	return c.run(done, err)
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	ents, done, err := c.FS.ReadDir(c.Clock.Now(), c.Env.Abs(path))
+	return ents, c.run(done, err)
+}
+
+// Symlink creates a symbolic link.
+func (c *Client) Symlink(target, path string) error {
+	done, err := c.FS.Symlink(c.Clock.Now(), target, c.Env.Abs(path))
+	return c.run(done, err)
+}
+
+// Readlink reads a symbolic link.
+func (c *Client) Readlink(path string) (string, error) {
+	t, done, err := c.FS.Readlink(c.Clock.Now(), c.Env.Abs(path))
+	return t, c.run(done, err)
+}
+
+// Link creates a hard link.
+func (c *Client) Link(oldpath, newpath string) error {
+	done, err := c.FS.Link(c.Clock.Now(), c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	return c.run(done, err)
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string) error {
+	done, err := c.FS.Unlink(c.Clock.Now(), c.Env.Abs(path))
+	return c.run(done, err)
+}
+
+// Rename moves a file or directory.
+func (c *Client) Rename(oldpath, newpath string) error {
+	done, err := c.FS.Rename(c.Clock.Now(), c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	return c.run(done, err)
+}
+
+// Stat queries attributes.
+func (c *Client) Stat(path string) (vfs.Stat, error) {
+	st, done, err := c.FS.Stat(c.Clock.Now(), c.Env.Abs(path))
+	return st, c.run(done, err)
+}
+
+// Chmod changes permissions.
+func (c *Client) Chmod(path string, mode vfs.Mode) error {
+	done, err := c.FS.Chmod(c.Clock.Now(), c.Env.Abs(path), mode)
+	return c.run(done, err)
+}
+
+// Chown changes ownership.
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	done, err := c.FS.Chown(c.Clock.Now(), c.Env.Abs(path), uid, gid)
+	return c.run(done, err)
+}
+
+// Utimes sets timestamps.
+func (c *Client) Utimes(path string) error {
+	now := c.Clock.Now()
+	done, err := c.FS.Utimes(now, c.Env.Abs(path), now, now)
+	return c.run(done, err)
+}
+
+// Truncate changes a file's size.
+func (c *Client) Truncate(path string, size int64) error {
+	done, err := c.FS.Truncate(c.Clock.Now(), c.Env.Abs(path), size)
+	return c.run(done, err)
+}
+
+// Access checks permissions.
+func (c *Client) Access(path string) error {
+	done, err := c.FS.Access(c.Clock.Now(), c.Env.Abs(path), vfs.AccessRead)
+	return c.run(done, err)
+}
+
+// Create makes a file (creat semantics).
+func (c *Client) Create(path string) (vfs.File, error) {
+	f, done, err := c.FS.Create(c.Clock.Now(), c.Env.Abs(path), 0o644)
+	return f, c.run(done, err)
+}
+
+// Open opens an existing file.
+func (c *Client) Open(path string) (vfs.File, error) {
+	f, done, err := c.FS.Open(c.Clock.Now(), c.Env.Abs(path))
+	return f, c.run(done, err)
+}
+
+// ReadFileAt reads from an open file, advancing the clock.
+func (c *Client) ReadFileAt(f vfs.File, off int64, buf []byte) (int, error) {
+	n, done, err := f.ReadAt(c.Clock.Now(), off, buf)
+	return n, c.run(done, err)
+}
+
+// WriteFileAt writes to an open file, advancing the clock.
+func (c *Client) WriteFileAt(f vfs.File, off int64, data []byte) (int, error) {
+	n, done, err := f.WriteAt(c.Clock.Now(), off, data)
+	return n, c.run(done, err)
+}
+
+// Close closes an open file.
+func (c *Client) Close(f vfs.File) error {
+	done, err := f.Close(c.Clock.Now())
+	return c.run(done, err)
+}
+
+// WriteFile creates path with the given content and closes it.
+func (c *Client) WriteFile(path string, data []byte) error {
+	f, err := c.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteFileAt(f, 0, data); err != nil {
+		return err
+	}
+	return c.Close(f)
+}
+
+// ReadFile opens path and reads it fully.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	st, err := c.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, st.Size)
+	if _, err := c.ReadFileAt(f, 0, buf); err != nil {
+		return nil, err
+	}
+	return buf, c.Close(f)
+}

@@ -1,0 +1,232 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext3"
+	"repro/internal/iscsi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// ClusterConfig parameterizes a multi-client testbed: N client machines
+// driving one server over a shared Gigabit segment.
+type ClusterConfig struct {
+	Kind Kind
+	// Clients is the number of concurrent client machines (default 1).
+	Clients int
+	// DeviceBlocks sizes each client's iSCSI LUN, or the shared NFS
+	// export, in 4 KB blocks (default 524288 = 2 GB).
+	DeviceBlocks int64
+	// RTT overrides the LAN round-trip time.
+	RTT time.Duration
+	// CommitInterval overrides ext3's journal commit interval (5 s).
+	CommitInterval time.Duration
+	// ClientCacheBlocks / ServerCacheBlocks bound the caches.
+	ClientCacheBlocks int
+	ServerCacheBlocks int
+	// Seed for loss injection and workloads.
+	Seed int64
+}
+
+// base converts to a single-client Config carrying the shared knobs.
+func (c *ClusterConfig) base() Config {
+	b := Config{
+		Kind:              c.Kind,
+		DeviceBlocks:      c.DeviceBlocks,
+		RTT:               c.RTT,
+		CommitInterval:    c.CommitInterval,
+		ClientCacheBlocks: c.ClientCacheBlocks,
+		ServerCacheBlocks: c.ServerCacheBlocks,
+		Seed:              c.Seed,
+	}
+	b.fill()
+	c.DeviceBlocks = b.DeviceBlocks
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	return b
+}
+
+// Cluster is N concurrent clients sharing one server: one network segment,
+// one server CPU and one RAID-5 array. NFS clients mount the same export;
+// iSCSI clients each own a LUN partition of the shared array.
+type Cluster struct {
+	Kind Kind
+	Cfg  ClusterConfig
+
+	Net       *simnet.Network
+	ServerCPU *sim.CPU
+	Clients   []*Client
+
+	dev  *blockdev.Local   // NFS export device (nil for iSCSI)
+	luns []*blockdev.Local // iSCSI LUNs (nil for NFS)
+	srv  *nfsServer        // shared NFS server state (nil for iSCSI)
+}
+
+// NewCluster builds and mounts an N-client cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	base := cfg.base()
+	cl := &Cluster{
+		Kind:      cfg.Kind,
+		Cfg:       cfg,
+		Net:       base.network(),
+		ServerCPU: sim.NewCPU(1.87), // 2 x 933 MHz
+	}
+
+	var serverReady time.Duration
+	switch cfg.Kind {
+	case ISCSI:
+		cl.luns = blockdev.NewClusterArray(cfg.Clients, base.DeviceBlocks)
+		for i, lun := range cl.luns {
+			if _, err := ext3.Mkfs(0, lun, ext3.Options{CommitInterval: base.CommitInterval}); err != nil {
+				return nil, fmt.Errorf("testbed: cluster mkfs lun %d: %w", i, err)
+			}
+		}
+	default:
+		cl.dev = blockdev.NewTestbedArray(base.DeviceBlocks)
+		if _, err := ext3.Mkfs(0, cl.dev, ext3.Options{CommitInterval: base.CommitInterval}); err != nil {
+			return nil, fmt.Errorf("testbed: cluster mkfs: %w", err)
+		}
+		cl.srv = &nfsServer{dev: cl.dev, cpu: cl.ServerCPU, cfg: base}
+		done, err := cl.srv.mount(0)
+		if err != nil {
+			return nil, err
+		}
+		serverReady = done
+	}
+
+	for i := 0; i < cfg.Clients; i++ {
+		cpu := sim.NewCPU(1.0)
+		h := hw{net: cl.Net, cpu: cpu, cfg: base}
+		var st Stack
+		if cfg.Kind == ISCSI {
+			name := fmt.Sprintf("iqn.2004.repro:vol%d", i)
+			st = &iscsiStack{hw: h, target: iscsi.NewTarget(name, cl.luns[i], cl.ServerCPU)}
+		} else {
+			st = &nfsStack{kind: cfg.Kind, hw: h, srv: cl.srv}
+		}
+		c := newClient(i, st)
+		c.CPU = cpu
+		// Clients boot once the server is up; mounts then contend for
+		// the shared segment and server CPU in client order.
+		c.Clock.AdvanceTo(serverReady)
+		if err := c.mount(); err != nil {
+			return nil, fmt.Errorf("testbed: cluster client %d: %w", i, err)
+		}
+		cl.Clients = append(cl.Clients, c)
+	}
+	return cl, nil
+}
+
+// Run interleaves one step function per client (index-aligned with
+// Clients) in virtual-time order until every driver finishes. Each step
+// issues work at its client's clock and advances it; the scheduler always
+// picks the earliest clock, so shared-resource contention is resolved
+// deterministically.
+func (cl *Cluster) Run(drivers []func() (more bool, err error)) error {
+	if len(drivers) != len(cl.Clients) {
+		return fmt.Errorf("testbed: %d drivers for %d clients", len(drivers), len(cl.Clients))
+	}
+	s := sim.NewScheduler()
+	for i, d := range drivers {
+		s.Spawn(cl.Clients[i].Clock, d)
+	}
+	return s.Run()
+}
+
+// clocks returns every client clock.
+func (cl *Cluster) clocks() []*sim.Clock {
+	cs := make([]*sim.Clock, len(cl.Clients))
+	for i, c := range cl.Clients {
+		cs[i] = c.Clock
+	}
+	return cs
+}
+
+// Horizon reports the latest client clock.
+func (cl *Cluster) Horizon() time.Duration { return sim.Horizon(cl.clocks()) }
+
+// Align advances every client clock to the cluster horizon (the barrier at
+// which a cluster-wide measurement window closes) and returns that time.
+func (cl *Cluster) Align() time.Duration { return sim.Align(cl.clocks()) }
+
+// Drain flushes every client to stable storage and aligns all clocks past
+// all background work.
+func (cl *Cluster) Drain() error {
+	for _, c := range cl.Clients {
+		if err := c.Drain(); err != nil {
+			return err
+		}
+	}
+	cl.Align()
+	return nil
+}
+
+// ColdCache empties every cache in the cluster: all clients drain and
+// remount, and the NFS server (if any) restarts exactly once.
+func (cl *Cluster) ColdCache() error {
+	if err := cl.Drain(); err != nil {
+		return err
+	}
+	if cl.srv != nil {
+		// One server restart, then every client drops caches and
+		// re-mounts against the fresh export.
+		now := cl.Align()
+		done, err := cl.srv.restart(now)
+		if err != nil {
+			return err
+		}
+		for _, c := range cl.Clients {
+			c.Clock.AdvanceTo(done)
+			st := c.Stack.(*nfsStack)
+			d2, err := st.remount(c.Clock.Now())
+			if err != nil {
+				return err
+			}
+			c.Clock.AdvanceTo(d2)
+			c.syncFS()
+		}
+	} else {
+		for _, c := range cl.Clients {
+			done, err := c.Stack.ColdCache(c.Clock.Now())
+			if err != nil {
+				return err
+			}
+			c.Clock.AdvanceTo(done)
+			c.syncFS()
+		}
+	}
+	cl.Align()
+	return nil
+}
+
+// Snap captures cluster-wide counters: shared network, shared array,
+// server CPU, and the sum of client CPU busy time. Time is the cluster
+// horizon. RPC aggregates every NFS client's SunRPC counters.
+func (cl *Cluster) Snap() Snapshot {
+	s := Snapshot{
+		Net:        cl.Net.Stats(),
+		ServerBusy: cl.ServerCPU.Busy(),
+		Time:       cl.Horizon(),
+	}
+	if cl.dev != nil {
+		s.Disk = cl.dev.Stats()
+	} else if len(cl.luns) > 0 {
+		s.Disk = cl.luns[0].Stats() // shared array counters
+	}
+	for _, c := range cl.Clients {
+		s.ClientBusy += c.CPU.Busy()
+		r := c.Stack.Counters().RPC
+		s.RPC.Calls += r.Calls
+		s.RPC.Retransmits += r.Retransmits
+		s.RPC.Timeouts += r.Timeouts
+		s.RPC.Failures += r.Failures
+	}
+	return s
+}
+
+// Since computes the measurement window from a prior cluster snapshot.
+func (cl *Cluster) Since(prev Snapshot) Delta { return delta(prev, cl.Snap()) }

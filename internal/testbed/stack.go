@@ -1,0 +1,266 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext3"
+	"repro/internal/iscsi"
+	"repro/internal/nfs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/vfs"
+)
+
+// Stack is the protocol-specific half of one client: the client-visible
+// filesystem plus the control operations a harness needs around it. Both
+// the NFS path (v2/v3/v4 over SunRPC) and the iSCSI path (local ext3 on a
+// remote block device) implement it, so the testbed and the multi-client
+// cluster assemble stacks without protocol switches.
+//
+// All methods take and return virtual times; the caller owns the clock.
+type Stack interface {
+	// Kind identifies the protocol variant.
+	Kind() Kind
+	// FS is the client-visible filesystem. It changes identity across
+	// ColdCache for stacks whose cold protocol is a remount.
+	FS() vfs.FileSystem
+	// Mount brings the stack up starting at now and returns completion.
+	Mount(now time.Duration) (time.Duration, error)
+	// Drain flushes all dirty client state to stable server storage and
+	// returns the quiescence time (the paper's measurement boundary).
+	Drain(now time.Duration) (time.Duration, error)
+	// ColdCache empties every cache the stack controls — client remount
+	// plus, for NFS, a server restart (Section 4.1's protocol).
+	ColdCache(now time.Duration) (time.Duration, error)
+	// Counters reports protocol-level statistics beyond the shared
+	// network/disk/CPU counters.
+	Counters() StackCounters
+}
+
+// StackCounters are the protocol-level statistics a stack exposes.
+type StackCounters struct {
+	// RPC is populated for NFS stacks (SunRPC call/retransmit counts).
+	RPC sunrpc.Stats
+}
+
+// hw bundles the per-client hardware a stack is built against.
+type hw struct {
+	net *simnet.Network
+	cpu *sim.CPU // client CPU
+	cfg Config
+}
+
+// clientFSOpts returns the ext3 options for an iSCSI client mount: the
+// filesystem (VFS + FS + block layers) runs on the *client* CPU.
+func (h hw) clientFSOpts() ext3.Options {
+	return ext3.Options{
+		CommitInterval: h.cfg.CommitInterval,
+		NoAtime:        h.cfg.NoAtime,
+		CacheBlocks:    h.cfg.ClientCacheBlocks,
+		CPU: &ext3.CPUConfig{
+			Run:      h.cpu.Run,
+			PerOp:    30 * time.Microsecond,
+			PerBlock: 5 * time.Microsecond,
+		},
+	}
+}
+
+// ---- NFS ----
+
+// nfsServer is the shared server half of one or more NFS stacks: the
+// export device, the server ext3 and the protocol server, all charging one
+// server CPU. A single-client testbed owns one; a cluster shares one among
+// all its clients.
+type nfsServer struct {
+	dev *blockdev.Local
+	cpu *sim.CPU
+	cfg Config
+
+	fs  *ext3.FS
+	srv *nfs.Server
+}
+
+// serverFSOpts returns the ext3 options for the server's local mount.
+func (s *nfsServer) serverFSOpts() ext3.Options {
+	return ext3.Options{
+		CommitInterval: s.cfg.CommitInterval,
+		NoAtime:        s.cfg.NoAtime,
+		CacheBlocks:    s.cfg.ServerCacheBlocks,
+		CPU: &ext3.CPUConfig{
+			Run:      s.cpu.Run,
+			PerOp:    25 * time.Microsecond,
+			PerBlock: 4 * time.Microsecond,
+		},
+	}
+}
+
+// mount brings the export up (first boot or after restart).
+func (s *nfsServer) mount(now time.Duration) (time.Duration, error) {
+	fs, done, err := ext3.Mount(now, s.dev, s.serverFSOpts())
+	if err != nil {
+		return now, fmt.Errorf("testbed: server mount: %w", err)
+	}
+	s.fs = fs
+	if s.srv == nil {
+		s.srv = nfs.NewServer(fs, s.cpu)
+	} else {
+		s.srv.Attach(fs)
+	}
+	return done, nil
+}
+
+// restart unmounts and remounts the export: the paper's "server restart"
+// cold-cache step. Client mounts survive (NFS is stateless enough).
+func (s *nfsServer) restart(now time.Duration) (time.Duration, error) {
+	done, err := s.fs.Unmount(now)
+	if err != nil {
+		return now, err
+	}
+	return s.mount(done)
+}
+
+// sync flushes the server's own background commits and returns the time
+// everything is on stable storage.
+func (s *nfsServer) sync(now time.Duration) (time.Duration, error) {
+	done, err := s.fs.Sync(now)
+	if err != nil {
+		return now, err
+	}
+	if h := s.fs.AsyncHorizon(); h > done {
+		done = h
+	}
+	return done, nil
+}
+
+// nfsStack is one client's NFS mount of a (possibly shared) server export.
+type nfsStack struct {
+	kind   Kind
+	hw     hw
+	srv    *nfsServer
+	rpc    *sunrpc.Client
+	client *nfs.Client
+}
+
+func (st *nfsStack) Kind() Kind         { return st.kind }
+func (st *nfsStack) FS() vfs.FileSystem { return st.client }
+func (st *nfsStack) Counters() StackCounters {
+	if st.rpc == nil {
+		return StackCounters{}
+	}
+	return StackCounters{RPC: st.rpc.Stats()}
+}
+
+func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
+	if st.srv.fs == nil {
+		done, err := st.srv.mount(now)
+		if err != nil {
+			return now, err
+		}
+		now = done
+	}
+	transport := sunrpc.TCP
+	ver := nfs.V3
+	switch st.kind {
+	case NFSv2:
+		transport, ver = sunrpc.UDP, nfs.V2
+	case NFSv4:
+		ver = nfs.V4
+	}
+	st.rpc = sunrpc.NewClient(st.hw.net, transport)
+	st.client = nfs.NewClient(ver, st.rpc, st.srv.srv, st.hw.cpu)
+	st.client.SetCacheCapacity(st.hw.cfg.ClientCacheBlocks)
+	done, err := st.client.Mount(now)
+	if err != nil {
+		return now, fmt.Errorf("testbed: nfs mount: %w", err)
+	}
+	return done, nil
+}
+
+func (st *nfsStack) Drain(now time.Duration) (time.Duration, error) {
+	done, err := st.client.Sync(now)
+	if err != nil {
+		return now, err
+	}
+	return st.srv.sync(done)
+}
+
+// remount drops the client's caches and re-mounts against the running
+// server — the client half of the cold-cache protocol. A cluster uses it
+// after restarting the shared server once.
+func (st *nfsStack) remount(now time.Duration) (time.Duration, error) {
+	st.client.DropCaches()
+	return st.client.Mount(now)
+}
+
+func (st *nfsStack) ColdCache(now time.Duration) (time.Duration, error) {
+	st.client.DropCaches()
+	done, err := st.srv.restart(now)
+	if err != nil {
+		return now, err
+	}
+	return st.client.Mount(done)
+}
+
+// ---- iSCSI ----
+
+// iscsiStack is one client's iSCSI session: an initiator logged into a
+// target LUN, with the client's own ext3 mounted on the remote volume.
+type iscsiStack struct {
+	hw        hw
+	target    *iscsi.Target
+	initiator *iscsi.Initiator
+	fs        *ext3.FS
+}
+
+func (st *iscsiStack) Kind() Kind              { return ISCSI }
+func (st *iscsiStack) FS() vfs.FileSystem      { return st.fs }
+func (st *iscsiStack) Counters() StackCounters { return StackCounters{} }
+
+func (st *iscsiStack) Mount(now time.Duration) (time.Duration, error) {
+	st.initiator = iscsi.NewInitiator(st.hw.net, st.target, st.hw.cpu)
+	done, err := st.initiator.Login(now)
+	if err != nil {
+		return now, fmt.Errorf("testbed: iscsi login: %w", err)
+	}
+	fs, done, err := ext3.Mount(done, st.initiator, st.hw.clientFSOpts())
+	if err != nil {
+		return now, fmt.Errorf("testbed: iscsi mount: %w", err)
+	}
+	st.fs = fs
+	return done, nil
+}
+
+func (st *iscsiStack) Drain(now time.Duration) (time.Duration, error) {
+	// A crashed client filesystem has nothing to drain.
+	if !st.fs.Mounted() {
+		return now, nil
+	}
+	done, err := st.fs.Sync(now)
+	if err != nil {
+		return now, err
+	}
+	if h := st.fs.AsyncHorizon(); h > done {
+		done = h
+	}
+	return done, nil
+}
+
+func (st *iscsiStack) ColdCache(now time.Duration) (time.Duration, error) {
+	// A crashed filesystem cannot unmount; remount recovery handles it.
+	if st.fs.Mounted() {
+		done, err := st.fs.Unmount(now)
+		if err != nil {
+			return now, err
+		}
+		now = done
+	}
+	fs, done, err := ext3.Mount(now, st.initiator, st.hw.clientFSOpts())
+	if err != nil {
+		return now, err
+	}
+	st.fs = fs
+	return done, nil
+}

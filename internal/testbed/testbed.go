@@ -4,6 +4,11 @@
 // simulated hardware: a Gigabit Ethernet link, a 4+p RAID-5 array of 10K
 // RPM drives, a dual-CPU server and a uniprocessor client.
 //
+// The protocol-specific plumbing lives behind the Stack interface
+// (stack.go); the per-client machine and syscall surface is Client
+// (client.go); Cluster (cluster.go) scales the same parts to N concurrent
+// clients sharing one server.
+//
 // The testbed also provides the paper's measurement controls: cold-cache
 // emulation (unmount/remount plus server restart), warm-cache gaps, drain
 // points, and delta-snapshots of every counter.
@@ -21,7 +26,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
-	"repro/internal/vfs"
 )
 
 // Kind selects the storage stack.
@@ -93,21 +97,30 @@ func (c *Config) fill() {
 	}
 }
 
-// Testbed is one assembled client/server configuration.
+// network builds the simulated LAN for a config.
+func (c Config) network() *simnet.Network {
+	return simnet.New(simnet.Config{
+		RTT:              c.RTT,
+		Bandwidth:        117 << 20,
+		PerFrameOverhead: 66,
+		LossRate:         c.LossRate,
+		Seed:             c.Seed,
+	})
+}
+
+// Testbed is one assembled client/server configuration: a single Client
+// plus the server-side hardware it drives.
 type Testbed struct {
-	Kind  Kind
-	Cfg   Config
-	Clock *sim.Clock
-	Net   *simnet.Network
+	*Client
+
+	Kind Kind
+	Cfg  Config
+	Net  *simnet.Network
 
 	// ClientCPU is the 1 GHz client processor; ServerCPU the server's
 	// two 933 MHz processors folded into one resource.
 	ClientCPU *sim.CPU
 	ServerCPU *sim.CPU
-
-	// FS is the client-visible filesystem; Env adds cwd handling.
-	FS  vfs.FileSystem
-	Env *vfs.Env
 
 	dev *blockdev.Local
 
@@ -126,110 +139,55 @@ type Testbed struct {
 // New builds and mounts a testbed.
 func New(cfg Config) (*Testbed, error) {
 	cfg.fill()
-	tb := &Testbed{Kind: cfg.Kind, Cfg: cfg, Clock: sim.NewClock()}
-	tb.Net = simnet.New(simnet.Config{
-		RTT:              cfg.RTT,
-		Bandwidth:        117 << 20,
-		PerFrameOverhead: 66,
-		LossRate:         cfg.LossRate,
-		Seed:             cfg.Seed,
-	})
-	tb.ClientCPU = sim.NewCPU(1.0)
-	tb.ServerCPU = sim.NewCPU(1.87) // 2 x 933 MHz
+	net := cfg.network()
+	clientCPU := sim.NewCPU(1.0)
+	serverCPU := sim.NewCPU(1.87) // 2 x 933 MHz
 
-	tb.dev = blockdev.NewTestbedArray(cfg.DeviceBlocks)
-	if _, err := ext3.Mkfs(0, tb.dev, ext3.Options{CommitInterval: cfg.CommitInterval}); err != nil {
+	dev := blockdev.NewTestbedArray(cfg.DeviceBlocks)
+	if _, err := ext3.Mkfs(0, dev, ext3.Options{CommitInterval: cfg.CommitInterval}); err != nil {
 		return nil, fmt.Errorf("testbed: mkfs: %w", err)
 	}
 
+	h := hw{net: net, cpu: clientCPU, cfg: cfg}
+	var st Stack
 	switch cfg.Kind {
 	case ISCSI:
-		if err := tb.mountISCSI(); err != nil {
-			return nil, err
-		}
+		st = &iscsiStack{hw: h, target: iscsi.NewTarget("iqn.2004.repro:vol0", dev, serverCPU)}
 	default:
-		if err := tb.mountNFS(); err != nil {
-			return nil, err
-		}
+		st = &nfsStack{kind: cfg.Kind, hw: h, srv: &nfsServer{dev: dev, cpu: serverCPU, cfg: cfg}}
 	}
-	tb.Env = vfs.NewEnv(tb.FS)
+	c := newClient(0, st)
+	c.CPU = clientCPU
+	tb := &Testbed{
+		Client:    c,
+		Kind:      cfg.Kind,
+		Cfg:       cfg,
+		Net:       net,
+		ClientCPU: clientCPU,
+		ServerCPU: serverCPU,
+		dev:       dev,
+	}
+	if err := c.mount(); err != nil {
+		return nil, err
+	}
+	tb.syncCompat()
 	return tb, nil
 }
 
-// clientFSOpts returns the ext3 options for the iSCSI client mount: the
-// filesystem (VFS + FS + block layers) runs on the *client* CPU.
-func (tb *Testbed) clientFSOpts() ext3.Options {
-	return ext3.Options{
-		CommitInterval: tb.Cfg.CommitInterval,
-		NoAtime:        tb.Cfg.NoAtime,
-		CacheBlocks:    tb.Cfg.ClientCacheBlocks,
-		CPU: &ext3.CPUConfig{
-			Run:      tb.ClientCPU.Run,
-			PerOp:    30 * time.Microsecond,
-			PerBlock: 5 * time.Microsecond,
-		},
+// syncCompat refreshes the exported protocol-internal handles from the
+// stack (their identities can change across ColdCache).
+func (tb *Testbed) syncCompat() {
+	switch st := tb.Stack.(type) {
+	case *iscsiStack:
+		tb.Initiator = st.initiator
+		tb.Target = st.target
+		tb.ClientFS = st.fs
+	case *nfsStack:
+		tb.RPC = st.rpc
+		tb.NFSClient = st.client
+		tb.NFSServer = st.srv.srv
+		tb.ServerFS = st.srv.fs
 	}
-}
-
-// serverFSOpts returns the ext3 options for the NFS server's local mount.
-func (tb *Testbed) serverFSOpts() ext3.Options {
-	return ext3.Options{
-		CommitInterval: tb.Cfg.CommitInterval,
-		NoAtime:        tb.Cfg.NoAtime,
-		CacheBlocks:    tb.Cfg.ServerCacheBlocks,
-		CPU: &ext3.CPUConfig{
-			Run:      tb.ServerCPU.Run,
-			PerOp:    25 * time.Microsecond,
-			PerBlock: 4 * time.Microsecond,
-		},
-	}
-}
-
-func (tb *Testbed) mountISCSI() error {
-	tb.Target = iscsi.NewTarget("iqn.2004.repro:vol0", tb.dev, tb.ServerCPU)
-	tb.Initiator = iscsi.NewInitiator(tb.Net, tb.Target, tb.ClientCPU)
-	done, err := tb.Initiator.Login(tb.Clock.Now())
-	if err != nil {
-		return fmt.Errorf("testbed: iscsi login: %w", err)
-	}
-	tb.Clock.AdvanceTo(done)
-	fs, done, err := ext3.Mount(tb.Clock.Now(), tb.Initiator, tb.clientFSOpts())
-	if err != nil {
-		return fmt.Errorf("testbed: iscsi mount: %w", err)
-	}
-	tb.Clock.AdvanceTo(done)
-	tb.ClientFS = fs
-	tb.FS = fs
-	return nil
-}
-
-func (tb *Testbed) mountNFS() error {
-	fs, done, err := ext3.Mount(tb.Clock.Now(), tb.dev, tb.serverFSOpts())
-	if err != nil {
-		return fmt.Errorf("testbed: server mount: %w", err)
-	}
-	tb.Clock.AdvanceTo(done)
-	tb.ServerFS = fs
-	tb.NFSServer = nfs.NewServer(fs, tb.ServerCPU)
-
-	transport := sunrpc.TCP
-	ver := nfs.V3
-	switch tb.Cfg.Kind {
-	case NFSv2:
-		transport, ver = sunrpc.UDP, nfs.V2
-	case NFSv4:
-		ver = nfs.V4
-	}
-	tb.RPC = sunrpc.NewClient(tb.Net, transport)
-	tb.NFSClient = nfs.NewClient(ver, tb.RPC, tb.NFSServer, tb.ClientCPU)
-	tb.NFSClient.SetCacheCapacity(tb.Cfg.ClientCacheBlocks)
-	done, err = tb.NFSClient.Mount(tb.Clock.Now())
-	if err != nil {
-		return fmt.Errorf("testbed: nfs mount: %w", err)
-	}
-	tb.Clock.AdvanceTo(done)
-	tb.FS = tb.NFSClient
-	return nil
 }
 
 // SetRTT adjusts network latency mid-run (the NISTNet knob of Figure 6).
@@ -239,101 +197,26 @@ func (tb *Testbed) SetRTT(rtt time.Duration) { tb.Net.SetRTT(rtt) }
 // and durable at the server, the virtual clock advanced past all
 // background work. This is the measurement boundary for the paper's
 // message counts. A crashed client filesystem has nothing to drain.
-func (tb *Testbed) Drain() error {
-	if tb.ClientFS != nil && !tb.ClientFS.Mounted() {
-		return nil
-	}
-	now := tb.Clock.Now()
-	done, err := tb.FS.Sync(now)
-	if err != nil {
-		return err
-	}
-	tb.Clock.AdvanceTo(done)
-	if tb.ClientFS != nil {
-		tb.Clock.AdvanceTo(tb.ClientFS.AsyncHorizon())
-	}
-	if tb.ServerFS != nil {
-		// The server's own background commits.
-		d2, err := tb.ServerFS.Sync(tb.Clock.Now())
-		if err != nil {
-			return err
-		}
-		tb.Clock.AdvanceTo(d2)
-		tb.Clock.AdvanceTo(tb.ServerFS.AsyncHorizon())
-	}
-	return nil
-}
+func (tb *Testbed) Drain() error { return tb.Client.Drain() }
 
 // ColdCache empties every cache: the client filesystem is unmounted and
 // remounted and the server restarted, the protocol the paper uses before
 // each cold-cache measurement (Section 4.1).
 func (tb *Testbed) ColdCache() error {
-	if err := tb.Drain(); err != nil {
+	if err := tb.Client.ColdCache(); err != nil {
 		return err
 	}
-	switch tb.Kind {
-	case ISCSI:
-		// A crashed filesystem cannot unmount; remount recovery handles it.
-		if tb.ClientFS.Mounted() {
-			done, err := tb.ClientFS.Unmount(tb.Clock.Now())
-			if err != nil {
-				return err
-			}
-			tb.Clock.AdvanceTo(done)
-		}
-		fs, done, err := ext3.Mount(tb.Clock.Now(), tb.Initiator, tb.clientFSOpts())
-		if err != nil {
-			return err
-		}
-		tb.Clock.AdvanceTo(done)
-		tb.ClientFS = fs
-		tb.FS = fs
-	default:
-		// Client remount: drop all client caches.
-		tb.NFSClient.DropCaches()
-		// Server restart: remount the export.
-		done, err := tb.ServerFS.Unmount(tb.Clock.Now())
-		if err != nil {
-			return err
-		}
-		tb.Clock.AdvanceTo(done)
-		fs, done, err := ext3.Mount(tb.Clock.Now(), tb.dev, tb.serverFSOpts())
-		if err != nil {
-			return err
-		}
-		tb.Clock.AdvanceTo(done)
-		tb.ServerFS = fs
-		tb.NFSServer.Attach(fs)
-		done, err = tb.NFSClient.Mount(tb.Clock.Now())
-		if err != nil {
-			return err
-		}
-		tb.Clock.AdvanceTo(done)
-	}
-	if tb.Env != nil {
-		tb.Env.FS = tb.FS
-	}
+	tb.syncCompat()
 	return nil
-}
-
-// Idle advances the virtual clock without work (the warm-cache gap: long
-// enough to expire the client attribute cache and trigger a journal
-// commit interval, as elapsed wall-clock does between manual invocations).
-func (tb *Testbed) Idle(d time.Duration) { tb.Clock.Advance(d) }
-
-// Compute charges application CPU on the client and advances the clock
-// (workloads use it to model their own processing, e.g. DB2's query work).
-func (tb *Testbed) Compute(d time.Duration) {
-	tb.Clock.AdvanceTo(tb.ClientCPU.Run(tb.Clock.Now(), d))
 }
 
 // Snapshot captures every counter for delta measurement.
 type Snapshot struct {
-	Net  metrics.NetStats
-	Disk metrics.DiskStats
-	RPC  sunrpc.Stats
+	Net                    metrics.NetStats
+	Disk                   metrics.DiskStats
+	RPC                    sunrpc.Stats
 	ClientBusy, ServerBusy time.Duration
-	Time time.Duration
+	Time                   time.Duration
 }
 
 // Snap returns the current counters.
@@ -366,6 +249,11 @@ type Delta struct {
 // Since computes the measurement window from a prior snapshot.
 func (tb *Testbed) Since(prev Snapshot) Delta {
 	cur := tb.Snap()
+	return delta(prev, cur)
+}
+
+// delta subtracts two snapshots.
+func delta(prev, cur Snapshot) Delta {
 	n := cur.Net.Sub(prev.Net)
 	d := cur.Disk.Sub(prev.Disk)
 	return Delta{
@@ -378,162 +266,4 @@ func (tb *Testbed) Since(prev Snapshot) Delta {
 		ClientBusy:  cur.ClientBusy - prev.ClientBusy,
 		ServerBusy:  cur.ServerBusy - prev.ServerBusy,
 	}
-}
-
-// ---- clock-advancing convenience wrappers (workload surface) ----
-
-// run advances the clock to the completion of op.
-func (tb *Testbed) run(done time.Duration, err error) error {
-	tb.Clock.AdvanceTo(done)
-	return err
-}
-
-// Mkdir creates a directory.
-func (tb *Testbed) Mkdir(path string) error {
-	done, err := tb.FS.Mkdir(tb.Clock.Now(), tb.Env.Abs(path), 0o755)
-	return tb.run(done, err)
-}
-
-// Rmdir removes a directory.
-func (tb *Testbed) Rmdir(path string) error {
-	done, err := tb.FS.Rmdir(tb.Clock.Now(), tb.Env.Abs(path))
-	return tb.run(done, err)
-}
-
-// Chdir changes the working directory.
-func (tb *Testbed) Chdir(path string) error {
-	done, err := tb.Env.Chdir(tb.Clock.Now(), path)
-	return tb.run(done, err)
-}
-
-// ReadDir lists a directory.
-func (tb *Testbed) ReadDir(path string) ([]vfs.DirEntry, error) {
-	ents, done, err := tb.FS.ReadDir(tb.Clock.Now(), tb.Env.Abs(path))
-	return ents, tb.run(done, err)
-}
-
-// Symlink creates a symbolic link.
-func (tb *Testbed) Symlink(target, path string) error {
-	done, err := tb.FS.Symlink(tb.Clock.Now(), target, tb.Env.Abs(path))
-	return tb.run(done, err)
-}
-
-// Readlink reads a symbolic link.
-func (tb *Testbed) Readlink(path string) (string, error) {
-	t, done, err := tb.FS.Readlink(tb.Clock.Now(), tb.Env.Abs(path))
-	return t, tb.run(done, err)
-}
-
-// Link creates a hard link.
-func (tb *Testbed) Link(oldpath, newpath string) error {
-	done, err := tb.FS.Link(tb.Clock.Now(), tb.Env.Abs(oldpath), tb.Env.Abs(newpath))
-	return tb.run(done, err)
-}
-
-// Unlink removes a file.
-func (tb *Testbed) Unlink(path string) error {
-	done, err := tb.FS.Unlink(tb.Clock.Now(), tb.Env.Abs(path))
-	return tb.run(done, err)
-}
-
-// Rename moves a file or directory.
-func (tb *Testbed) Rename(oldpath, newpath string) error {
-	done, err := tb.FS.Rename(tb.Clock.Now(), tb.Env.Abs(oldpath), tb.Env.Abs(newpath))
-	return tb.run(done, err)
-}
-
-// Stat queries attributes.
-func (tb *Testbed) Stat(path string) (vfs.Stat, error) {
-	st, done, err := tb.FS.Stat(tb.Clock.Now(), tb.Env.Abs(path))
-	return st, tb.run(done, err)
-}
-
-// Chmod changes permissions.
-func (tb *Testbed) Chmod(path string, mode vfs.Mode) error {
-	done, err := tb.FS.Chmod(tb.Clock.Now(), tb.Env.Abs(path), mode)
-	return tb.run(done, err)
-}
-
-// Chown changes ownership.
-func (tb *Testbed) Chown(path string, uid, gid uint32) error {
-	done, err := tb.FS.Chown(tb.Clock.Now(), tb.Env.Abs(path), uid, gid)
-	return tb.run(done, err)
-}
-
-// Utimes sets timestamps.
-func (tb *Testbed) Utimes(path string) error {
-	now := tb.Clock.Now()
-	done, err := tb.FS.Utimes(now, tb.Env.Abs(path), now, now)
-	return tb.run(done, err)
-}
-
-// Truncate changes a file's size.
-func (tb *Testbed) Truncate(path string, size int64) error {
-	done, err := tb.FS.Truncate(tb.Clock.Now(), tb.Env.Abs(path), size)
-	return tb.run(done, err)
-}
-
-// Access checks permissions.
-func (tb *Testbed) Access(path string) error {
-	done, err := tb.FS.Access(tb.Clock.Now(), tb.Env.Abs(path), vfs.AccessRead)
-	return tb.run(done, err)
-}
-
-// Create makes a file (creat semantics).
-func (tb *Testbed) Create(path string) (vfs.File, error) {
-	f, done, err := tb.FS.Create(tb.Clock.Now(), tb.Env.Abs(path), 0o644)
-	return f, tb.run(done, err)
-}
-
-// Open opens an existing file.
-func (tb *Testbed) Open(path string) (vfs.File, error) {
-	f, done, err := tb.FS.Open(tb.Clock.Now(), tb.Env.Abs(path))
-	return f, tb.run(done, err)
-}
-
-// ReadFileAt reads from an open file, advancing the clock.
-func (tb *Testbed) ReadFileAt(f vfs.File, off int64, buf []byte) (int, error) {
-	n, done, err := f.ReadAt(tb.Clock.Now(), off, buf)
-	return n, tb.run(done, err)
-}
-
-// WriteFileAt writes to an open file, advancing the clock.
-func (tb *Testbed) WriteFileAt(f vfs.File, off int64, data []byte) (int, error) {
-	n, done, err := f.WriteAt(tb.Clock.Now(), off, data)
-	return n, tb.run(done, err)
-}
-
-// Close closes an open file.
-func (tb *Testbed) Close(f vfs.File) error {
-	done, err := f.Close(tb.Clock.Now())
-	return tb.run(done, err)
-}
-
-// WriteFile creates path with the given content and closes it.
-func (tb *Testbed) WriteFile(path string, data []byte) error {
-	f, err := tb.Create(path)
-	if err != nil {
-		return err
-	}
-	if _, err := tb.WriteFileAt(f, 0, data); err != nil {
-		return err
-	}
-	return tb.Close(f)
-}
-
-// ReadFile opens path and reads it fully.
-func (tb *Testbed) ReadFile(path string) ([]byte, error) {
-	st, err := tb.Stat(path)
-	if err != nil {
-		return nil, err
-	}
-	f, err := tb.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, st.Size)
-	if _, err := tb.ReadFileAt(f, 0, buf); err != nil {
-		return nil, err
-	}
-	return buf, tb.Close(f)
 }

@@ -5,9 +5,20 @@ import (
 	"time"
 )
 
+// testProfile scales a profile down under -short: a quarter of the trace
+// duration preserves the sharing shape while cutting synthesis and
+// analysis time proportionally.
+func testProfile(p Profile) Profile {
+	if testing.Short() {
+		p.Duration /= 4
+		p.Directories /= 2
+	}
+	return p
+}
+
 func TestSynthesizeDeterministic(t *testing.T) {
-	a := Synthesize(EECS())
-	b := Synthesize(EECS())
+	a := Synthesize(testProfile(EECS()))
+	b := Synthesize(testProfile(EECS()))
 	if len(a) == 0 || len(a) != len(b) {
 		t.Fatalf("lengths: %d %d", len(a), len(b))
 	}
@@ -22,7 +33,7 @@ func TestSynthesizeDeterministic(t *testing.T) {
 // sharing well above write sharing, and only a small fraction of
 // directories read-write shared at the large time scale.
 func TestEECSSharingProfile(t *testing.T) {
-	recs := Synthesize(EECS())
+	recs := Synthesize(testProfile(EECS()))
 	pts := AnalyzeSharing(recs, []time.Duration{64 * time.Second, 1024 * time.Second})
 	for _, p := range pts {
 		t.Logf("T=%v read1=%.2f write1=%.2f readN=%.2f rwN=%.2f",
@@ -43,7 +54,7 @@ func TestEECSSharingProfile(t *testing.T) {
 // TestCampusCrossover checks Figure 7(b)'s distinguishing feature: at
 // larger time scales read-write sharing overtakes pure read sharing.
 func TestCampusCrossover(t *testing.T) {
-	recs := Synthesize(Campus())
+	recs := Synthesize(testProfile(Campus()))
 	pts := AnalyzeSharing(recs, []time.Duration{8 * time.Second, 1024 * time.Second})
 	small, large := pts[0], pts[1]
 	t.Logf("small T: readN=%.3f rwN=%.3f; large T: readN=%.3f rwN=%.3f",
@@ -61,7 +72,7 @@ func TestMetadataCacheReduction(t *testing.T) {
 	// Campus carries more read-write sharing than EECS (the paper's own
 	// observation), so its callback budget is looser.
 	limits := map[string]float64{"EECS": 0.05, "Campus": 0.10}
-	for _, p := range []Profile{EECS(), Campus()} {
+	for _, p := range []Profile{testProfile(EECS()), testProfile(Campus())} {
 		recs := Synthesize(p)
 		res := SimulateMetadataCache(recs, 4096)
 		t.Logf("%s cache=4096: reduction=%.1f%% callbacks=%.4f",
@@ -77,7 +88,7 @@ func TestMetadataCacheReduction(t *testing.T) {
 
 // TestCacheSizeSweepMonotone verifies larger caches reduce more messages.
 func TestCacheSizeSweepMonotone(t *testing.T) {
-	recs := Synthesize(EECS())
+	recs := Synthesize(testProfile(EECS()))
 	prev := -1.0
 	for _, size := range []int{16, 64, 256, 1024} {
 		res := SimulateMetadataCache(recs, size)
@@ -94,7 +105,7 @@ func TestCacheSizeSweepMonotone(t *testing.T) {
 // feasibility argument).
 func TestDelegationLowContention(t *testing.T) {
 	limits := map[string]float64{"EECS": 0.08, "Campus": 0.16}
-	for _, p := range []Profile{EECS(), Campus()} {
+	for _, p := range []Profile{testProfile(EECS()), testProfile(Campus())} {
 		res := SimulateDelegation(Synthesize(p))
 		t.Logf("%s delegation: reduction=%.1f%% recallRatio=%.4f",
 			p.Name, res.MessageReduction*100, res.RecallRatio)

@@ -21,6 +21,9 @@ type PostMarkConfig struct {
 	// Subdirectories spreads the pool over n directories (PostMark's
 	// -d option; 0 = flat, the default).
 	Subdirectories int
+	// Dir is the pool's root directory (default "/pm"; cluster clients
+	// each use their own).
+	Dir string
 }
 
 // DefaultPostMark returns the paper's configuration at a given pool size.
@@ -39,127 +42,188 @@ type PostMarkStats struct {
 	Created, Deleted, Read, Appended int
 }
 
-// PostMark runs the benchmark and reports the result.
-func PostMark(tb *testbed.Testbed, cfg PostMarkConfig) (Result, PostMarkStats, error) {
+// postmarkRun is the benchmark as a resumable state machine: setup, pool
+// creation, the transaction loop, and final deletion, one transaction per
+// step, so concurrent clients can interleave at transaction granularity.
+type postmarkRun struct {
+	c     Ops
+	cfg   PostMarkConfig
+	rng   *rand.Rand
+	stats PostMarkStats
+
+	phase int // 0 setup, 1 create pool, 2 transactions, 3 delete, 4 done
+	i     int // progress within the phase
+
+	live  []int
+	sizes map[int]int
+	next  int
+}
+
+func newPostmarkRun(c Ops, cfg PostMarkConfig) (*postmarkRun, error) {
 	if cfg.Files <= 0 || cfg.Transactions < 0 {
-		return Result{}, PostMarkStats{}, fmt.Errorf("postmark: bad config %+v", cfg)
+		return nil, fmt.Errorf("postmark: bad config %+v", cfg)
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	var stats PostMarkStats
+	if cfg.Dir == "" {
+		cfg.Dir = "/pm"
+	}
+	return &postmarkRun{
+		c:     c,
+		cfg:   cfg,
+		rng:   sim.NewRNG(cfg.Seed),
+		live:  make([]int, 0, cfg.Files*2),
+		sizes: make(map[int]int),
+	}, nil
+}
 
-	// Pool setup (not part of the measured transaction phase, matching
-	// PostMark's own timing of the transaction loop; pool creation I/O
-	// is included in Elapsed the way the paper reports completion time,
-	// so we run it inside the measurement too — PostMark reports "total
-	// time" including creation and deletion phases).
-	name := func(i int) string {
-		if cfg.Subdirectories > 0 {
-			return fmt.Sprintf("/pm/s%d/f%d", i%cfg.Subdirectories, i)
+// name maps a file id to its pool path.
+func (p *postmarkRun) name(i int) string {
+	if p.cfg.Subdirectories > 0 {
+		return fmt.Sprintf("%s/s%d/f%d", p.cfg.Dir, i%p.cfg.Subdirectories, i)
+	}
+	return fmt.Sprintf("%s/f%d", p.cfg.Dir, i)
+}
+
+func (p *postmarkRun) createFile() error {
+	id := p.next
+	p.next++
+	size := p.cfg.MinSize + p.rng.Intn(p.cfg.MaxSize-p.cfg.MinSize+1)
+	if err := p.c.WriteFile(p.name(id), randomText(p.rng, size)); err != nil {
+		return err
+	}
+	p.live = append(p.live, id)
+	p.sizes[id] = size
+	p.stats.Created++
+	return nil
+}
+
+// transaction executes one PostMark transaction (the loop body).
+func (p *postmarkRun) transaction() error {
+	if len(p.live) == 0 {
+		return p.createFile()
+	}
+	pick := p.rng.Intn(len(p.live))
+	id := p.live[pick]
+	if p.rng.Intn(2) == 0 {
+		// Create or delete.
+		if p.rng.Intn(2) == 0 {
+			return p.createFile()
 		}
-		return fmt.Sprintf("/pm/f%d", i)
-	}
-
-	res, err := measure(tb, fmt.Sprintf("PostMark-%d", cfg.Files), func() error {
-		if err := tb.Mkdir("/pm"); err != nil {
+		if err := p.c.Unlink(p.name(id)); err != nil {
 			return err
 		}
-		for s := 0; s < cfg.Subdirectories; s++ {
-			if err := tb.Mkdir(fmt.Sprintf("/pm/s%d", s)); err != nil {
-				return err
-			}
-		}
-		// Creation phase.
-		live := make([]int, 0, cfg.Files*2)
-		sizes := make(map[int]int)
-		next := 0
-		createFile := func() error {
-			id := next
-			next++
-			size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
-			if err := tb.WriteFile(name(id), randomText(rng, size)); err != nil {
-				return err
-			}
-			live = append(live, id)
-			sizes[id] = size
-			stats.Created++
-			return nil
-		}
-		for i := 0; i < cfg.Files; i++ {
-			if err := createFile(); err != nil {
-				return err
-			}
-		}
-		// Transaction phase.
-		for t := 0; t < cfg.Transactions; t++ {
-			if len(live) == 0 {
-				if err := createFile(); err != nil {
-					return err
-				}
-				continue
-			}
-			pick := rng.Intn(len(live))
-			id := live[pick]
-			if rng.Intn(2) == 0 {
-				// Create or delete.
-				if rng.Intn(2) == 0 {
-					if err := createFile(); err != nil {
-						return err
-					}
-				} else {
-					if err := tb.Unlink(name(id)); err != nil {
-						return err
-					}
-					live[pick] = live[len(live)-1]
-					live = live[:len(live)-1]
-					delete(sizes, id)
-					stats.Deleted++
-				}
-			} else {
-				// Read or append.
-				if rng.Intn(2) == 0 {
-					f, err := tb.Open(name(id))
-					if err != nil {
-						return err
-					}
-					buf := make([]byte, sizes[id])
-					if _, err := tb.ReadFileAt(f, 0, buf); err != nil {
-						return err
-					}
-					if err := tb.Close(f); err != nil {
-						return err
-					}
-					stats.Read++
-				} else {
-					f, err := tb.Open(name(id))
-					if err != nil {
-						return err
-					}
-					app := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
-					if _, err := tb.WriteFileAt(f, int64(sizes[id]), randomText(rng, app)); err != nil {
-						return err
-					}
-					if err := tb.Close(f); err != nil {
-						return err
-					}
-					sizes[id] += app
-					stats.Appended++
-				}
-			}
-		}
-		// Deletion phase: remove remaining files.
-		for _, id := range live {
-			if err := tb.Unlink(name(id)); err != nil && err != vfs.ErrNotExist {
-				return err
-			}
-			stats.Deleted++
-		}
+		p.live[pick] = p.live[len(p.live)-1]
+		p.live = p.live[:len(p.live)-1]
+		delete(p.sizes, id)
+		p.stats.Deleted++
 		return nil
-	})
+	}
+	// Read or append.
+	if p.rng.Intn(2) == 0 {
+		f, err := p.c.Open(p.name(id))
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, p.sizes[id])
+		if _, err := p.c.ReadFileAt(f, 0, buf); err != nil {
+			return err
+		}
+		if err := p.c.Close(f); err != nil {
+			return err
+		}
+		p.stats.Read++
+		return nil
+	}
+	f, err := p.c.Open(p.name(id))
 	if err != nil {
-		return res, stats, err
+		return err
+	}
+	app := p.cfg.MinSize + p.rng.Intn(p.cfg.MaxSize-p.cfg.MinSize+1)
+	if _, err := p.c.WriteFileAt(f, int64(p.sizes[id]), randomText(p.rng, app)); err != nil {
+		return err
+	}
+	if err := p.c.Close(f); err != nil {
+		return err
+	}
+	p.sizes[id] += app
+	p.stats.Appended++
+	return nil
+}
+
+// step advances the benchmark by one transaction-sized unit of work.
+func (p *postmarkRun) step() (more bool, err error) {
+	switch p.phase {
+	case 0:
+		// Directory setup (pool root plus optional subdirectories).
+		if err := p.c.Mkdir(p.cfg.Dir); err != nil {
+			return false, err
+		}
+		for s := 0; s < p.cfg.Subdirectories; s++ {
+			if err := p.c.Mkdir(fmt.Sprintf("%s/s%d", p.cfg.Dir, s)); err != nil {
+				return false, err
+			}
+		}
+		p.phase = 1
+		return true, nil
+	case 1:
+		if err := p.createFile(); err != nil {
+			return false, err
+		}
+		p.i++
+		if p.i >= p.cfg.Files {
+			p.phase, p.i = 2, 0
+		}
+		return true, nil
+	case 2:
+		if p.i >= p.cfg.Transactions {
+			p.phase, p.i = 3, 0
+			return true, nil
+		}
+		if err := p.transaction(); err != nil {
+			return false, err
+		}
+		p.i++
+		return true, nil
+	case 3:
+		// Deletion phase: remove remaining files.
+		if p.i >= len(p.live) {
+			p.phase = 4
+			return false, nil
+		}
+		id := p.live[p.i]
+		p.i++
+		if err := p.c.Unlink(p.name(id)); err != nil && err != vfs.ErrNotExist {
+			return false, err
+		}
+		p.stats.Deleted++
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// PostMarkSteps returns the benchmark as a step driver (one transaction
+// per call) plus a live view of its transaction mix, for interleaved
+// multi-client runs.
+func PostMarkSteps(c Ops, cfg PostMarkConfig) (Steps, *PostMarkStats, error) {
+	p, err := newPostmarkRun(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p.step, &p.stats, nil
+}
+
+// PostMark runs the benchmark to completion and reports the result.
+func PostMark(tb *testbed.Testbed, cfg PostMarkConfig) (Result, PostMarkStats, error) {
+	p, err := newPostmarkRun(tb, cfg)
+	if err != nil {
+		return Result{}, PostMarkStats{}, err
+	}
+	res, err := measure(tb, fmt.Sprintf("PostMark-%d", cfg.Files), runSteps(p.step))
+	if err != nil {
+		return res, p.stats, err
 	}
 	res.Throughput = float64(cfg.Transactions) / res.Elapsed.Seconds()
-	return res, stats, nil
+	return res, p.stats, nil
 }
 
 // randomText produces PostMark-style filler bytes.

@@ -1,0 +1,39 @@
+package workload
+
+import "repro/internal/vfs"
+
+// Ops is the clock-advancing syscall surface a step driver needs. Both
+// *testbed.Testbed and the per-client *testbed.Client of a cluster satisfy
+// it, so every driver in this package runs unchanged on one machine or
+// interleaved across N.
+type Ops interface {
+	Mkdir(path string) error
+	Create(path string) (vfs.File, error)
+	Open(path string) (vfs.File, error)
+	Close(f vfs.File) error
+	ReadFileAt(f vfs.File, off int64, buf []byte) (int, error)
+	WriteFileAt(f vfs.File, off int64, data []byte) (int, error)
+	Unlink(path string) error
+	WriteFile(path string, data []byte) error
+}
+
+// Steps is a resumable workload driver: each call issues the next
+// operation at the client's current virtual time and reports whether more
+// work remains. A scheduler interleaves Steps from concurrent clients in
+// virtual-time order; a single-client run just drives one to completion.
+type Steps func() (more bool, err error)
+
+// runSteps drives a step function to completion (the single-client path).
+func runSteps(s Steps) func() error {
+	return func() error {
+		for {
+			more, err := s()
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	}
+}

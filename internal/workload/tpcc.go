@@ -20,7 +20,7 @@ type TPCCConfig struct {
 	Transactions int   // number of transactions to run
 	PagesPerTxn  int   // page touches per transaction (default 12)
 	ReadFraction float64
-	TxnCPU time.Duration // client compute per transaction
+	TxnCPU       time.Duration // client compute per transaction
 	// GroupCommit issues an explicit log fsync every N transactions.
 	// 0 (the default) relies on the filesystem's commit interval instead,
 	// which is how the measured configuration behaved: the async-export

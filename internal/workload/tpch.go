@@ -84,7 +84,7 @@ func TPCH(tb *testbed.Testbed, cfg TPCHConfig) (Result, error) {
 			// Index probe phase: random 4 KB reads.
 			probe := make([]byte, 4096)
 			for p := 0; p < cfg.IndexProbes; p++ {
-				off := rng.Int63n(cfg.DBSize / 4096) * 4096
+				off := rng.Int63n(cfg.DBSize/4096) * 4096
 				if _, err := tb.ReadFileAt(db, off, probe); err != nil {
 					return err
 				}

@@ -51,6 +51,9 @@ func TestTPCCComparable(t *testing.T) {
 		ReadFraction: 2.0 / 3.0, TxnCPU: 900 * time.Microsecond,
 		Seed: 99,
 	}
+	if testing.Short() {
+		cfg.DBSize, cfg.Transactions = 32<<20, 400
+	}
 	results := map[testbed.Kind]Result{}
 	for _, k := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
 		// The paper's database dwarfs both machines' RAM; preserve the
@@ -81,6 +84,9 @@ func TestTPCHComparable(t *testing.T) {
 	cfg := TPCHConfig{
 		DBSize: 64 << 20, Queries: 4, ExtentSize: 32 << 10,
 		ScanFraction: 0.3, IndexProbes: 50, ExtentCPU: 220 * time.Microsecond, Seed: 1,
+	}
+	if testing.Short() {
+		cfg.DBSize, cfg.Queries = 32<<20, 2
 	}
 	results := map[testbed.Kind]Result{}
 	for _, k := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
@@ -152,6 +158,9 @@ func TestKernelBenchmarks(t *testing.T) {
 // TestSeqRandShape verifies Table 4's shape at reduced scale.
 func TestSeqRandShape(t *testing.T) {
 	cfg := SeqRandConfig{FileSize: 16 << 20, ChunkSize: 4096, Seed: 7}
+	if testing.Short() {
+		cfg.FileSize = 4 << 20
+	}
 	type stack struct{ sw, rw, sr, rr Result }
 	res := map[testbed.Kind]stack{}
 	for _, k := range []testbed.Kind{testbed.NFSv3, testbed.ISCSI} {
