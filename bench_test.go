@@ -336,6 +336,50 @@ func BenchmarkTable10ClientCPU(b *testing.B) {
 	report(b, ratio, "client-cpu-ratio")
 }
 
+// BenchmarkTransport runs the virtual-time TCP transport sweep at a small
+// scale and reports the two headline transport results: the iSCSI MC/S
+// speedup from 1 to 4 connections on a 40 ms link (Kumar et al.), and the
+// ratio of NFS-over-UDP to NFS-over-TCP degradation at 5% frame loss.
+func BenchmarkTransport(b *testing.B) {
+	var mcsSpeedup, udpPenalty float64
+	for i := 0; i < b.N; i++ {
+		cells, err := core.RunTransport(core.TransportConfig{
+			Stacks:       []core.Stack{core.NFSv3, core.ISCSI},
+			Workloads:    []string{"seq-read"},
+			RTTs:         []time.Duration{40 * time.Millisecond},
+			LossRates:    []float64{0, 0.05},
+			Conns:        []int{1, 4},
+			FileSize:     1 << 20,
+			DeviceBlocks: 8192,
+			Seed:         42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pick := func(stack core.Stack, tr string, conns int, loss float64) core.TransportCell {
+			for _, c := range cells {
+				if c.Stack == stack && c.Transport.String() == tr && c.Conns == conns && c.Loss == loss {
+					return c
+				}
+			}
+			b.Fatalf("missing cell %v/%s x%d loss=%g", stack, tr, conns, loss)
+			return core.TransportCell{}
+		}
+		one := pick(core.ISCSI, "tcp", 1, 0)
+		four := pick(core.ISCSI, "tcp", 4, 0)
+		if one.BytesPerSec > 0 {
+			mcsSpeedup = four.BytesPerSec / one.BytesPerSec
+		}
+		udp := pick(core.NFSv3, "udp", 1, 0.05)
+		tcp := pick(core.NFSv3, "tcp", 1, 0.05)
+		if tcp.Elapsed > 0 {
+			udpPenalty = float64(udp.Elapsed) / float64(tcp.Elapsed)
+		}
+	}
+	report(b, mcsSpeedup, "iscsi-mcs-speedup-4c")
+	report(b, udpPenalty, "nfs-udp/tcp-elapsed@5%loss")
+}
+
 // BenchmarkFigure7TraceSharing regenerates the sharing analysis.
 func BenchmarkFigure7TraceSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,6 +1,9 @@
 // Command latency regenerates Figure 6: the NISTNet wide-area experiment
 // sweeping round-trip latency from 10 to 90 ms and measuring sequential
-// and random read/write completion times on NFS v3 and iSCSI.
+// and random read/write completion times on NFS v3 and iSCSI. The -loss
+// flag injects frame loss on the emulated WAN path, extending the sweep
+// to lossy long-haul links (see cmd/transport for the full transport
+// cross-product).
 package main
 
 import (
@@ -14,17 +17,34 @@ import (
 
 func main() {
 	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
-	step := flag.Int("step", 20, "RTT step in ms (paper plots 10ms steps)")
+	step := flag.Int("step", 20, "RTT step in ms (paper plots 10ms steps; 1..80)")
+	loss := flag.Float64("loss", 0, "frame loss rate in % (0..50)")
 	flag.Parse()
+
+	if *step < 1 || *step > 80 {
+		fmt.Fprintf(os.Stderr, "latency: -step %d out of range [1, 80]\n", *step)
+		os.Exit(2)
+	}
+	if *sizeMB < 1 {
+		fmt.Fprintf(os.Stderr, "latency: -size %d must be at least 1 MB\n", *sizeMB)
+		os.Exit(2)
+	}
+	if *loss < 0 || *loss > 50 {
+		fmt.Fprintf(os.Stderr, "latency: -loss %g out of range [0, 50]\n", *loss)
+		os.Exit(2)
+	}
 
 	var rtts []time.Duration
 	for ms := 10; ms <= 90; ms += *step {
 		rtts = append(rtts, time.Duration(ms)*time.Millisecond)
 	}
-	points, err := core.RunFigure6(core.Options{}, *sizeMB<<20, rtts)
+	points, err := core.RunFigure6(core.Options{LossRate: *loss / 100}, *sizeMB<<20, rtts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latency:", err)
 		os.Exit(1)
+	}
+	if *loss > 0 {
+		fmt.Printf("Figure 6 with %.1f%% frame loss injected on the WAN path\n\n", *loss)
 	}
 	core.RenderFigure6(os.Stdout, points)
 }

@@ -1,0 +1,107 @@
+// Command transport runs the virtual-time TCP transport sweep: every
+// stack's wire traffic rides the tcpsim model (NFS additionally compares
+// its UDP datagram path) across {loss rate x RTT x window x connection
+// count}. It is the mechanistic successor of the Figure 6 experiment:
+// iSCSI scales MC/S connections the way Kumar et al. measured, and the
+// window axis is the rmem/wmem knob from the paper's Section 3.1.
+//
+// Identical seeds give byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	size := flag.Int64("size", 2, "file size in MB per workload pass")
+	chunk := flag.Int("chunk", 4096, "per-syscall unit in bytes")
+	rtts := flag.String("rtts", "0.2,40", "RTTs to sweep, in ms (comma separated)")
+	losses := flag.String("loss", "0,1", "frame loss rates to sweep, in % (comma separated)")
+	windows := flag.String("windows", "64", "per-connection TCP window caps, in KB (comma separated)")
+	conns := flag.String("conns", "1,2,4", "iSCSI MC/S connection counts (comma separated)")
+	stacks := flag.String("stacks", "nfsv3,iscsi", "stacks to sweep (nfsv2,nfsv3,nfsv4,iscsi)")
+	workloads := flag.String("workloads", "seq-read,seq-write",
+		"workloads ("+strings.Join(core.TransportWorkloads, ",")+")")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	cfg := core.TransportConfig{
+		FileSize:  *size << 20,
+		ChunkSize: *chunk,
+		Seed:      *seed,
+	}
+	for _, ms := range floats(*rtts, "rtts") {
+		cfg.RTTs = append(cfg.RTTs, time.Duration(ms*float64(time.Millisecond)))
+	}
+	for _, p := range floats(*losses, "loss") {
+		if p > 50 {
+			fatal(fmt.Sprintf("-loss %g out of range [0, 50]", p))
+		}
+		cfg.LossRates = append(cfg.LossRates, p/100)
+	}
+	for _, kb := range floats(*windows, "windows") {
+		cfg.Windows = append(cfg.Windows, int(kb)<<10)
+	}
+	for _, n := range floats(*conns, "conns") {
+		if n < 1 {
+			fatal("conns must be >= 1")
+		}
+		cfg.Conns = append(cfg.Conns, int(n))
+	}
+	for _, s := range strings.Split(*stacks, ",") {
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "nfsv2":
+			cfg.Stacks = append(cfg.Stacks, core.NFSv2)
+		case "nfsv3":
+			cfg.Stacks = append(cfg.Stacks, core.NFSv3)
+		case "nfsv4":
+			cfg.Stacks = append(cfg.Stacks, core.NFSv4)
+		case "iscsi":
+			cfg.Stacks = append(cfg.Stacks, core.ISCSI)
+		case "":
+		default:
+			fatal("unknown stack " + s)
+		}
+	}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+
+	cells, err := core.RunTransport(cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+	core.RenderTransport(os.Stdout, cells)
+}
+
+// floats parses a comma-separated list of non-negative numbers.
+func floats(list, name string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 {
+			fatal("bad -" + name + " value " + f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatal("-" + name + " needs at least one value")
+	}
+	return out
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "transport:", msg)
+	os.Exit(1)
+}

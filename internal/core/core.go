@@ -48,6 +48,9 @@ type Options struct {
 	WarmGap time.Duration
 	// Seed for workload randomness.
 	Seed int64
+	// LossRate injects frame loss on the testbed link, so the WAN sweeps
+	// (Figure 6 and cmd/latency) can model lossy long-haul paths.
+	LossRate float64
 }
 
 func (o *Options) fill() {
@@ -66,6 +69,7 @@ func (o Options) newBed(k Stack) (*testbed.Testbed, error) {
 		Kind:         k,
 		DeviceBlocks: o.DeviceBlocks,
 		Seed:         o.Seed,
+		LossRate:     o.LossRate,
 	})
 }
 

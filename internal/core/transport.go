@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Transport experiment: the mechanistic version of the Figure 6 WAN story.
+// Every stack's wire traffic runs through the virtual-time TCP model (or
+// the UDP datagram path for NFS), and the sweep crosses {loss rate x RTT x
+// window x connection count}: NFS compares its two transports, iSCSI
+// scales MC/S connection counts — the Kumar et al. experiment — and the
+// window axis is the paper's Section 3.1 rmem/wmem knob.
+
+// TransportWorkloads lists the supported transport-sweep workloads.
+var TransportWorkloads = []string{"seq-read", "seq-write", "rand-read", "rand-write"}
+
+// TransportConfig parameterizes the sweep.
+type TransportConfig struct {
+	// Stacks restricts the sweep (default NFSv3 and iSCSI, the paper's
+	// Figure 6 pair).
+	Stacks []Stack
+	// Workloads to run (default seq-read, seq-write).
+	Workloads []string
+	// RTTs to sweep (default 200 us LAN and 40 ms WAN).
+	RTTs []time.Duration
+	// LossRates to sweep (default 0 and 1%).
+	LossRates []float64
+	// Windows are per-connection TCP window caps in bytes (default 64 KB).
+	Windows []int
+	// Conns are the iSCSI MC/S connection counts (default 1, 2, 4).
+	// NFS stacks ignore this axis and instead compare UDP vs TCP.
+	Conns []int
+	// FileSize per workload pass (default 2 MB).
+	FileSize int64
+	// ChunkSize is the per-syscall unit (default 4 KB).
+	ChunkSize int
+	// DeviceBlocks sizes the volume (default sized from FileSize).
+	DeviceBlocks int64
+	// Seed for loss injection and workload randomness.
+	Seed int64
+}
+
+func (c *TransportConfig) fill() {
+	if len(c.Stacks) == 0 {
+		c.Stacks = []Stack{NFSv3, ISCSI}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"seq-read", "seq-write"}
+	}
+	if len(c.RTTs) == 0 {
+		c.RTTs = []time.Duration{200 * time.Microsecond, 40 * time.Millisecond}
+	}
+	if len(c.LossRates) == 0 {
+		c.LossRates = []float64{0, 0.01}
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []int{64 << 10}
+	}
+	if len(c.Conns) == 0 {
+		c.Conns = []int{1, 2, 4}
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 2 << 20
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.DeviceBlocks == 0 {
+		c.DeviceBlocks = 16384
+		if need := c.FileSize / 4096 * 4; need > c.DeviceBlocks {
+			c.DeviceBlocks = need
+		}
+	}
+}
+
+// variant is one transport arrangement of a stack.
+type variant struct {
+	transport testbed.Transport
+	conns     int
+}
+
+// variants returns the transport arrangements swept for a stack: NFS
+// compares datagram UDP against stream TCP; iSCSI scales MC/S connections.
+func (c TransportConfig) variants(stack Stack) []variant {
+	if stack == ISCSI {
+		vs := make([]variant, 0, len(c.Conns))
+		for _, n := range c.Conns {
+			vs = append(vs, variant{testbed.TransportTCP, n})
+		}
+		return vs
+	}
+	return []variant{{testbed.TransportUDP, 1}, {testbed.TransportTCP, 1}}
+}
+
+// TransportCell is one (stack, transport, workload, rtt, loss, window)
+// measurement.
+type TransportCell struct {
+	Stack     Stack
+	Transport testbed.Transport
+	Conns     int
+	Workload  string
+	RTT       time.Duration
+	Loss      float64
+	Window    int
+
+	// Elapsed is the measured run (including drain); BytesPerSec the
+	// resulting data throughput.
+	Elapsed     time.Duration
+	BytesPerSec float64
+	// Messages counts protocol transactions; RPCRetrans RPC-layer
+	// (datagram) retransmissions; TCPRetrans/TCPTimeouts the TCP-level
+	// recovery activity.
+	Messages    int64
+	RPCRetrans  int64
+	TCPRetrans  int64
+	TCPTimeouts int64
+}
+
+// Label names the variant the way the tables print it (nfs v3/udp,
+// iscsi tcpx4, ...).
+func (c TransportCell) Label() string {
+	if c.Stack == ISCSI {
+		return fmt.Sprintf("%s tcpx%d", c.Stack, c.Conns)
+	}
+	return fmt.Sprintf("%s/%s", c.Stack, c.Transport)
+}
+
+// RunTransport sweeps every transport arrangement of every stack across
+// {rtt x loss x window} and measures each workload. Cells are emitted in
+// deterministic order; identical seeds give identical cells.
+func RunTransport(cfg TransportConfig) ([]TransportCell, error) {
+	cfg.fill()
+	var cells []TransportCell
+	for _, wl := range cfg.Workloads {
+		for _, stack := range cfg.Stacks {
+			for _, v := range cfg.variants(stack) {
+				windows := cfg.Windows
+				if v.transport == testbed.TransportUDP {
+					// The window cap is a TCP knob; one UDP cell per
+					// {rtt x loss} point, rendered with a blank window.
+					windows = []int{0}
+				}
+				for _, window := range windows {
+					for _, rtt := range cfg.RTTs {
+						for _, loss := range cfg.LossRates {
+							cell, err := runTransportCell(cfg, wl, stack, v, rtt, loss, window)
+							if err != nil {
+								return nil, fmt.Errorf("transport %s/%v(%v x%d)/rtt=%v/loss=%g: %w",
+									wl, stack, v.transport, v.conns, rtt, loss, err)
+							}
+							cells = append(cells, cell)
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// runTransportCell builds one testbed and measures one workload on it.
+func runTransportCell(cfg TransportConfig, wl string, stack Stack, v variant,
+	rtt time.Duration, loss float64, window int) (TransportCell, error) {
+	tb, err := testbed.New(testbed.Config{
+		Kind:         stack,
+		DeviceBlocks: cfg.DeviceBlocks,
+		RTT:          rtt,
+		LossRate:     loss,
+		Seed:         cfg.Seed,
+		Transport:    v.transport,
+		Conns:        v.conns,
+		WindowBytes:  window,
+	})
+	if err != nil {
+		return TransportCell{}, err
+	}
+	src := workload.SeqRandConfig{FileSize: cfg.FileSize, ChunkSize: cfg.ChunkSize, Seed: cfg.Seed}
+	var res workload.Result
+	var bytes int64
+	switch wl {
+	case "seq-read":
+		res, err = workload.SequentialRead(tb, src)
+		bytes = src.SeqBytes()
+	case "seq-write":
+		res, err = workload.SequentialWrite(tb, src)
+		bytes = src.SeqBytes()
+	case "rand-read":
+		res, err = workload.RandomRead(tb, src)
+		bytes = src.RandBytes()
+	case "rand-write":
+		res, err = workload.RandomWrite(tb, src)
+		bytes = src.RandBytes()
+	default:
+		return TransportCell{}, fmt.Errorf("unknown transport workload %q", wl)
+	}
+	if err != nil {
+		return TransportCell{}, err
+	}
+	counters := tb.Client.Stack.Counters()
+	return TransportCell{
+		Stack:       stack,
+		Transport:   v.transport,
+		Conns:       v.conns,
+		Workload:    wl,
+		RTT:         rtt,
+		Loss:        loss,
+		Window:      window,
+		Elapsed:     res.Elapsed,
+		BytesPerSec: float64(bytes) / res.Elapsed.Seconds(),
+		Messages:    res.Messages,
+		RPCRetrans:  counters.RPC.Retransmits,
+		TCPRetrans:  counters.TCP.Retransmits,
+		TCPTimeouts: counters.TCP.Timeouts,
+	}, nil
+}
+
+// RenderTransport prints the sweep grouped by workload: one row per
+// (variant, window, rtt, loss) cell in sweep order.
+func RenderTransport(w io.Writer, cells []TransportCell) {
+	var workloads []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			workloads = append(workloads, c.Workload)
+		}
+	}
+	for _, wl := range workloads {
+		fmt.Fprintf(w, "Transport sweep: %s (virtual-time TCP under every stack)\n", wl)
+		fmt.Fprintf(w, "%-16s %-8s %-8s %-6s %10s %12s %8s %8s %8s\n",
+			"variant", "window", "rtt", "loss", "MB/s", "elapsed", "msgs", "rpc-rt", "tcp-rt")
+		for _, c := range cells {
+			if c.Workload != wl {
+				continue
+			}
+			window := "-"
+			if c.Window > 0 {
+				window = fmt.Sprintf("%dK", c.Window>>10)
+			}
+			fmt.Fprintf(w, "%-16s %-8s %-8s %-6s %10.2f %12s %8d %8d %8d\n",
+				c.Label(),
+				window,
+				c.RTT.String(),
+				fmt.Sprintf("%.1f%%", c.Loss*100),
+				c.BytesPerSec/1e6,
+				c.Elapsed.Round(time.Millisecond).String(),
+				c.Messages, c.RPCRetrans, c.TCPRetrans)
+		}
+		fmt.Fprintln(w)
+	}
+}

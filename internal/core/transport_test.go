@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// tinyTransport keeps per-cell work small enough for unit tests.
+func tinyTransport() TransportConfig {
+	return TransportConfig{
+		FileSize:     1 << 20,
+		DeviceBlocks: 8192,
+		Seed:         42,
+	}
+}
+
+// findCell locates one cell by its coordinates.
+func findCell(t *testing.T, cells []TransportCell, stack Stack, conns int,
+	tr string, wl string, rtt time.Duration, loss float64) TransportCell {
+	t.Helper()
+	for _, c := range cells {
+		if c.Stack == stack && c.Conns == conns && c.Transport.String() == tr &&
+			c.Workload == wl && c.RTT == rtt && c.Loss == loss {
+			return c
+		}
+	}
+	t.Fatalf("no cell %v/%s x%d %s rtt=%v loss=%g", stack, tr, conns, wl, rtt, loss)
+	return TransportCell{}
+}
+
+// TestTransportKumarConnScaling reproduces the qualitative Kumar et al.
+// result: on a long fat pipe, iSCSI sequential-read throughput grows with
+// the MC/S connection count until the pipe saturates.
+func TestTransportKumarConnScaling(t *testing.T) {
+	cfg := tinyTransport()
+	cfg.Stacks = []Stack{ISCSI}
+	cfg.Workloads = []string{"seq-read"}
+	cfg.RTTs = []time.Duration{40 * time.Millisecond}
+	cfg.LossRates = []float64{0}
+	cfg.Conns = []int{1, 4, 8}
+	cells, err := RunTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := cfg.RTTs[0]
+	one := findCell(t, cells, ISCSI, 1, "tcp", "seq-read", rtt, 0)
+	four := findCell(t, cells, ISCSI, 4, "tcp", "seq-read", rtt, 0)
+	eight := findCell(t, cells, ISCSI, 8, "tcp", "seq-read", rtt, 0)
+	if four.BytesPerSec <= one.BytesPerSec*1.2 {
+		t.Fatalf("MC/S no speedup at 40 ms RTT: 1 conn %.2f MB/s, 4 conns %.2f MB/s",
+			one.BytesPerSec/1e6, four.BytesPerSec/1e6)
+	}
+	// Saturation: doubling again buys much less than the first 4x did.
+	firstGain := four.BytesPerSec / one.BytesPerSec
+	secondGain := eight.BytesPerSec / four.BytesPerSec
+	if secondGain >= firstGain {
+		t.Fatalf("no saturation: 1->4 conns x%.2f, 4->8 conns x%.2f", firstGain, secondGain)
+	}
+}
+
+// TestTransportUDPDegradesFasterThanTCP checks the loss story: as frame
+// loss rises, NFS-over-UDP suffers fragmentation amplification (one lost
+// MTU fragment kills a whole 8 KB datagram) plus exponentially backed-off
+// RPC-timer recovery, and falls behind NFS-over-TCP's in-stream recovery.
+func TestTransportUDPDegradesFasterThanTCP(t *testing.T) {
+	cfg := tinyTransport()
+	cfg.Stacks = []Stack{NFSv3}
+	cfg.Workloads = []string{"seq-read"}
+	cfg.RTTs = []time.Duration{time.Millisecond}
+	cfg.LossRates = []float64{0, 0.05}
+	cells, err := RunTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := cfg.RTTs[0]
+	udpClean := findCell(t, cells, NFSv3, 1, "udp", "seq-read", rtt, 0)
+	udpLossy := findCell(t, cells, NFSv3, 1, "udp", "seq-read", rtt, 0.05)
+	tcpClean := findCell(t, cells, NFSv3, 1, "tcp", "seq-read", rtt, 0)
+	tcpLossy := findCell(t, cells, NFSv3, 1, "tcp", "seq-read", rtt, 0.05)
+
+	udpDeg := float64(udpLossy.Elapsed) / float64(udpClean.Elapsed)
+	tcpDeg := float64(tcpLossy.Elapsed) / float64(tcpClean.Elapsed)
+	if udpDeg <= tcpDeg {
+		t.Fatalf("UDP degraded x%.2f, TCP x%.2f: UDP should suffer more from loss", udpDeg, tcpDeg)
+	}
+	if udpLossy.RPCRetrans == 0 {
+		t.Fatal("lossy UDP run recorded no RPC retransmissions")
+	}
+	if tcpLossy.RPCRetrans != 0 {
+		t.Fatalf("TCP run retransmitted %d times at RPC level", tcpLossy.RPCRetrans)
+	}
+	if tcpLossy.TCPRetrans == 0 {
+		t.Fatal("lossy TCP run recorded no TCP retransmissions")
+	}
+}
+
+// TestTransportWindowKnob: a larger per-connection window moves a
+// window-limited single-connection flow faster at WAN latency.
+func TestTransportWindowKnob(t *testing.T) {
+	cfg := tinyTransport()
+	cfg.Stacks = []Stack{ISCSI}
+	cfg.Workloads = []string{"seq-read"}
+	cfg.RTTs = []time.Duration{40 * time.Millisecond}
+	cfg.LossRates = []float64{0}
+	cfg.Conns = []int{1}
+	cfg.Windows = []int{16 << 10, 256 << 10}
+	cells, err := RunTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, big TransportCell
+	for _, c := range cells {
+		switch c.Window {
+		case 16 << 10:
+			small = c
+		case 256 << 10:
+			big = c
+		}
+	}
+	if big.BytesPerSec <= small.BytesPerSec {
+		t.Fatalf("window knob inert: 16K %.2f MB/s vs 256K %.2f MB/s",
+			small.BytesPerSec/1e6, big.BytesPerSec/1e6)
+	}
+}
+
+// TestTransportDeterministicRender: identical seeds give byte-identical
+// rendered output.
+func TestTransportDeterministicRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	cfg := tinyTransport()
+	cfg.RTTs = []time.Duration{10 * time.Millisecond}
+	cfg.LossRates = []float64{0, 0.02}
+	cfg.Conns = []int{1, 2}
+	cfg.Workloads = []string{"seq-read"}
+	run := func() string {
+		cells, err := RunTransport(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		RenderTransport(&b, cells)
+		return b.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic render:\n%s\nvs\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty render")
+	}
+}

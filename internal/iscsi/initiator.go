@@ -56,6 +56,15 @@ func (i *Initiator) charge(at time.Duration, d time.Duration) time.Duration {
 	return i.cpu.Run(at, d)
 }
 
+// recoveryRTO is the fluid-path stand-in for TCP's retransmission timer:
+// a frame lost under failure injection is recovered by re-driving the
+// exchange after this (doubling) timeout. The tcpsim transport recovers
+// below the SCSI layer instead and never takes this path.
+const recoveryRTO = 200 * time.Millisecond
+
+// maxCommandRetries bounds loss recovery before a command errors out.
+const maxCommandRetries = 6
+
 // Login establishes the session and discovers capacity via READ
 // CAPACITY(10). It performs one login exchange and two discovery commands
 // (INQUIRY, READ CAPACITY), as a real initiator does at mount time.
@@ -64,11 +73,20 @@ func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
 	req := &PDU{Opcode: OpLoginRequest, ITT: i.itt, CmdSN: i.cmdSN,
 		Data: []byte("InitiatorName=iqn.2004.repro.client\x00SessionType=Normal\x00")}
 	var resp *PDU
-	done, ok := i.net.RoundTrip(at, req.WireSize(), 128, func(arrive time.Duration) time.Duration {
-		r, t := i.target.HandleLogin(arrive, req)
-		resp = r
-		return t
-	})
+	var done time.Duration
+	ok := false
+	rto := recoveryRTO
+	for attempt := 0; attempt <= maxCommandRetries && !ok; attempt++ {
+		done, ok = i.net.RoundTrip(at, req.WireSize(), 128, func(arrive time.Duration) time.Duration {
+			r, t := i.target.HandleLogin(arrive, req)
+			resp = r
+			return t
+		})
+		if !ok {
+			at = done + rto
+			rto *= 2
+		}
+	}
 	if !ok || resp == nil {
 		return done, fmt.Errorf("iscsi: login failed (network loss)")
 	}
@@ -94,7 +112,10 @@ func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
 }
 
 // command performs one SCSI command round trip; returns completion time,
-// inline Data-In payload, and whether the exchange survived loss injection.
+// inline Data-In payload, and whether the command succeeded. A frame lost
+// under failure injection is retried with the same task tag after a
+// doubling recovery timeout (as TCP retransmission would recover it on a
+// real initiator); CHECK CONDITION responses are never retried.
 func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, bool) {
 	i.itt++
 	i.cmdSN++
@@ -109,23 +130,35 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 		ExpectedLen: uint32(expectIn),
 	}
 	at = i.charge(at, i.cost.PerCommand+time.Duration(len(data)/1024)*i.cost.PerKB)
-	var resp *PDU
-	done, ok := i.net.RoundTrip(at, req.WireSize(), BHSSize+pad4(expectIn), func(arrive time.Duration) time.Duration {
-		r, t := i.target.HandleCommand(arrive, req)
-		resp = r
-		return t
-	})
-	if !ok || resp == nil {
-		return done, nil, false
+	rto := recoveryRTO
+	for attempt := 0; ; attempt++ {
+		var resp *PDU
+		done, ok := i.net.RoundTrip(at, req.WireSize(), BHSSize+pad4(expectIn), func(arrive time.Duration) time.Duration {
+			r, t := i.target.HandleCommand(arrive, req)
+			resp = r
+			return t
+		})
+		if !ok {
+			// Request or response frame lost: recover after the timeout.
+			if attempt >= maxCommandRetries {
+				return done, nil, false
+			}
+			at = done + rto
+			rto *= 2
+			continue
+		}
+		if resp == nil {
+			return done, nil, false
+		}
+		if resp.Status != scsi.StatusGood {
+			return done, resp.Data, false
+		}
+		i.expStatSN = resp.StatSN
+		if expectIn > 0 {
+			done = i.charge(done, time.Duration(expectIn/1024)*i.cost.PerKB)
+		}
+		return done, resp.Data, true
 	}
-	if resp.Status != scsi.StatusGood {
-		return done, resp.Data, false
-	}
-	i.expStatSN = resp.StatSN
-	if expectIn > 0 {
-		done = i.charge(done, time.Duration(expectIn/1024)*i.cost.PerKB)
-	}
-	return done, resp.Data, true
 }
 
 // BlockSize implements blockdev.Device.

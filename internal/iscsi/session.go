@@ -1,0 +1,471 @@
+package iscsi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scsi"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/tcpsim"
+)
+
+// Session is an iSCSI session multiplexing SCSI commands across N TCP
+// connections — the MC/S (multiple connections per session) configuration
+// Kumar et al. show governs iSCSI throughput on long fat pipes. Commands
+// are dispatched round-robin across the connections and each connection
+// carries its command's PDUs start to finish (connection allegiance,
+// RFC 3720 §3.2.2); a multi-chunk transfer is split into per-connection
+// sub-commands whose data phases proceed concurrently, modeling the
+// command-queue depth a real initiator keeps outstanding.
+//
+// Session implements blockdev.Device, like Initiator, so the client ext3
+// mounts it unchanged; unlike Initiator it rides tcpsim connections, so
+// window dynamics, delayed ACKs and RTO-driven retransmission shape every
+// transfer instead of the fluid one-datagram model.
+type Session struct {
+	net    *simnet.Network
+	target *Target
+	cpu    *sim.CPU
+	cost   CostModel
+	conns  []*tcpsim.Conn
+
+	itt       uint32
+	cmdSN     uint32
+	expStatSN uint32
+	rr        int // round-robin dispatch cursor
+	loggedIn  bool
+
+	blockSize int
+	numBlocks int64
+}
+
+// NewSession creates an MC/S session of nConns TCP connections to target
+// over net, charging client CPU demand to cpu (nil for untimed tests).
+func NewSession(net *simnet.Network, target *Target, cpu *sim.CPU, nConns int, tcpCfg tcpsim.Config) *Session {
+	if nConns < 1 {
+		nConns = 1
+	}
+	s := &Session{net: net, target: target, cpu: cpu, cost: DefaultInitiatorCosts()}
+	for i := 0; i < nConns; i++ {
+		s.conns = append(s.conns, tcpsim.NewConn(net, tcpCfg))
+	}
+	return s
+}
+
+// Conns reports the connection count.
+func (s *Session) Conns() int { return len(s.conns) }
+
+// SetCosts overrides the client CPU cost model.
+func (s *Session) SetCosts(c CostModel) { s.cost = c }
+
+// Stats returns the TCP counters aggregated across all connections.
+func (s *Session) Stats() tcpsim.Stats {
+	var agg tcpsim.Stats
+	for _, c := range s.conns {
+		agg.Add(c.Stats())
+	}
+	return agg
+}
+
+func (s *Session) charge(at time.Duration, d time.Duration) time.Duration {
+	if s.cpu == nil {
+		return at
+	}
+	return s.cpu.Run(at, d)
+}
+
+// Login connects every session connection, performs the login exchange on
+// the leading connection, and discovers capacity (INQUIRY, READ CAPACITY),
+// as a real MC/S initiator does at mount time.
+func (s *Session) Login(at time.Duration) (time.Duration, error) {
+	ready := at
+	for i, c := range s.conns {
+		done, err := c.Connect(at)
+		if err != nil {
+			return done, fmt.Errorf("iscsi: session conn %d: %w", i, err)
+		}
+		if done > ready {
+			ready = done
+		}
+	}
+
+	s.itt++
+	req := &PDU{Opcode: OpLoginRequest, ITT: s.itt, CmdSN: s.cmdSN,
+		Data: []byte("InitiatorName=iqn.2004.repro.client\x00SessionType=Normal\x00MaxConnections=" +
+			fmt.Sprint(len(s.conns)) + "\x00")}
+	s.net.CountMessage()
+	arrive, ok := s.conns[0].Transfer(ready, req.WireSize(), simnet.ClientToServer)
+	if !ok {
+		return arrive, fmt.Errorf("iscsi: login transport failed")
+	}
+	resp, svcDone := s.target.HandleLogin(arrive, req)
+	reply, ok := s.conns[0].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	if !ok {
+		return reply, fmt.Errorf("iscsi: login reply transport failed")
+	}
+	s.loggedIn = true
+	s.expStatSN = resp.StatSN
+
+	done, _, ok := s.command(0, reply, scsi.Inquiry(96), nil, 96)
+	if !ok {
+		return done, fmt.Errorf("iscsi: inquiry failed")
+	}
+	var data []byte
+	done, data, ok = s.command(0, done, scsi.ReadCapacity10(), nil, 8)
+	if !ok || len(data) < 8 {
+		return done, fmt.Errorf("iscsi: read capacity failed")
+	}
+	var cap8 [8]byte
+	copy(cap8[:], data)
+	last, bs := scsi.ParseCapacityData(cap8)
+	s.numBlocks = int64(last) + 1
+	s.blockSize = int(bs)
+	return done, nil
+}
+
+// command performs one synchronous SCSI command on connection ci: request
+// PDU up, target service, response (with inline Data-In) down. Used for
+// discovery and cache flushes, where there is nothing to overlap.
+func (s *Session) command(ci int, at time.Duration, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, bool) {
+	req := s.nextPDU(cdb, data, expectIn)
+	// The whole command's client CPU demand (issue path plus data
+	// handling) is charged at issue: pipelined commands then hit the
+	// shared CPU resource in monotone virtual-time order, which a
+	// completion-time charge — landing an RTT in the future — would break.
+	at = s.charge(at, s.cost.PerCommand+time.Duration((len(data)+expectIn)/1024)*s.cost.PerKB)
+	s.net.CountMessage()
+	arrive, ok := s.conns[ci].Transfer(at, req.WireSize(), simnet.ClientToServer)
+	if !ok {
+		return arrive, nil, false
+	}
+	resp, svcDone := s.target.HandleCommand(arrive, req)
+	reply, ok := s.conns[ci].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	if !ok || resp.Status != scsi.StatusGood {
+		return reply, resp.Data, false
+	}
+	s.expStatSN = resp.StatSN
+	return reply, resp.Data, true
+}
+
+// nextPDU allocates task tag and command sequence numbers for one command.
+func (s *Session) nextPDU(cdb scsi.CDB, data []byte, expectIn int) *PDU {
+	s.itt++
+	s.cmdSN++
+	return &PDU{
+		Opcode:      OpSCSICommand,
+		Flags:       FlagFinal,
+		ITT:         s.itt,
+		CmdSN:       s.cmdSN,
+		ExpStatSN:   s.expStatSN,
+		CDB:         cdb.Encode(),
+		Data:        data,
+		ExpectedLen: uint32(expectIn),
+	}
+}
+
+// stripeUnit returns the per-command block count for an n-block transfer:
+// the extent divides across the session's connections so their data phases
+// overlap, each command capped at MaxTransferBlocks.
+func (s *Session) stripeUnit(n int) int {
+	u := (n + len(s.conns) - 1) / len(s.conns)
+	if u > MaxTransferBlocks {
+		u = MaxTransferBlocks
+	}
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// pipe is one connection's command pipeline during a striped transfer.
+// Pipelines interleave by always stepping the earliest next event, so
+// concurrent data phases share the link in virtual-time order.
+type pipe interface {
+	done() bool
+	failed() error
+	nextAt() time.Duration
+	step()
+	completion() time.Duration
+}
+
+// runPipes interleaves pipelines to completion and returns the time the
+// last one finished.
+func runPipes(pipes []pipe) (time.Duration, error) {
+	for {
+		var best pipe
+		for _, p := range pipes {
+			if p.done() {
+				continue
+			}
+			if best == nil || p.nextAt() < best.nextAt() {
+				best = p
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.step()
+		if err := best.failed(); err != nil {
+			return 0, err
+		}
+	}
+	var last time.Duration
+	for _, p := range pipes {
+		if t := p.completion(); t > last {
+			last = t
+		}
+	}
+	return last, nil
+}
+
+// stripe describes one sub-command of a striped transfer.
+type stripe struct {
+	blockOff int // offset into the caller's extent, blocks
+	blocks   int
+}
+
+// assign splits an n-block extent into stripes and deals them round-robin
+// onto the session's connections, advancing the dispatch cursor.
+func (s *Session) assign(n int) [][]stripe {
+	u := s.stripeUnit(n)
+	perConn := make([][]stripe, len(s.conns))
+	base, cmds := s.rr, 0
+	for off := 0; off < n; off += u {
+		chunk := n - off
+		if chunk > u {
+			chunk = u
+		}
+		ci := (base + cmds) % len(s.conns)
+		perConn[ci] = append(perConn[ci], stripe{blockOff: off, blocks: chunk})
+		cmds++
+	}
+	s.rr = (base + cmds) % len(s.conns)
+	return perConn
+}
+
+// ---- reads ----
+
+// rdPipe runs READ(10) commands on one connection: request up, target
+// service, Data-In phase stepped segment-flight by segment-flight.
+type rdPipe struct {
+	s    *Session
+	conn *tcpsim.Conn
+	lba  int64
+	bs   int
+	buf  []byte
+
+	cmds []stripe
+	i    int
+	at   time.Duration
+	xfer *tcpsim.Transfer
+	resp *PDU
+	err  error
+	end  time.Duration
+}
+
+func (p *rdPipe) done() bool                { return p.err != nil || p.i >= len(p.cmds) }
+func (p *rdPipe) failed() error             { return p.err }
+func (p *rdPipe) completion() time.Duration { return p.end }
+func (p *rdPipe) nextAt() time.Duration {
+	if p.xfer != nil {
+		return p.xfer.NextAt()
+	}
+	return p.at
+}
+
+func (p *rdPipe) step() {
+	s := p.s
+	if p.xfer == nil {
+		cmd := p.cmds[p.i]
+		req := s.nextPDU(scsi.Read10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), nil, cmd.blocks*p.bs)
+		// Full command CPU demand at issue (see command for why).
+		at := s.charge(p.at, s.cost.PerCommand+time.Duration(cmd.blocks*p.bs/1024)*s.cost.PerKB)
+		s.net.CountMessage()
+		arrive, ok := p.conn.Transfer(at, req.WireSize(), simnet.ClientToServer)
+		if !ok {
+			p.err = fmt.Errorf("iscsi: READ(10) request transport failed at lba=%d", p.lba+int64(cmd.blockOff))
+			return
+		}
+		resp, svcDone := s.target.HandleCommand(arrive, req)
+		if resp.Status != scsi.StatusGood {
+			p.err = fmt.Errorf("iscsi: READ(10) failed at lba=%d: %s", p.lba+int64(cmd.blockOff), string(resp.Data))
+			return
+		}
+		p.resp = resp
+		p.xfer = p.conn.StartTransfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+		return
+	}
+	p.xfer.Step()
+	if !p.xfer.Done() {
+		return
+	}
+	if p.xfer.Failed() {
+		p.err = fmt.Errorf("iscsi: Data-In transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		return
+	}
+	cmd := p.cmds[p.i]
+	copy(p.buf[cmd.blockOff*p.bs:], p.resp.Data)
+	s.expStatSN = p.resp.StatSN
+	done := p.xfer.Delivered()
+	p.at = done
+	if done > p.end {
+		p.end = done
+	}
+	p.xfer, p.resp = nil, nil
+	p.i++
+}
+
+// ReadBlocks implements blockdev.Device: the extent is striped across the
+// session's connections and the Data-In phases overlap.
+func (s *Session) ReadBlocks(start time.Duration, lba int64, buf []byte) (time.Duration, error) {
+	if !s.loggedIn {
+		return start, fmt.Errorf("iscsi: read before login")
+	}
+	bs := s.BlockSize()
+	if len(buf)%bs != 0 {
+		return start, fmt.Errorf("iscsi: read not block-multiple: %d", len(buf))
+	}
+	n := len(buf) / bs
+	if n == 0 {
+		return start, nil
+	}
+	perConn := s.assign(n)
+	var pipes []pipe
+	for ci, cmds := range perConn {
+		if len(cmds) == 0 {
+			continue
+		}
+		pipes = append(pipes, &rdPipe{s: s, conn: s.conns[ci], lba: lba, bs: bs, buf: buf,
+			cmds: cmds, at: start, end: start})
+	}
+	return runPipes(pipes)
+}
+
+// ---- writes ----
+
+// wrPipe runs WRITE(10) commands on one connection: the Data-Out phase
+// (command PDU with immediate data) is stepped flight by flight, then the
+// target executes and the status PDU returns.
+type wrPipe struct {
+	s    *Session
+	conn *tcpsim.Conn
+	lba  int64
+	bs   int
+	data []byte
+
+	cmds []stripe
+	i    int
+	at   time.Duration
+	xfer *tcpsim.Transfer
+	req  *PDU
+	err  error
+	end  time.Duration
+}
+
+func (p *wrPipe) done() bool                { return p.err != nil || p.i >= len(p.cmds) }
+func (p *wrPipe) failed() error             { return p.err }
+func (p *wrPipe) completion() time.Duration { return p.end }
+func (p *wrPipe) nextAt() time.Duration {
+	if p.xfer != nil {
+		return p.xfer.NextAt()
+	}
+	return p.at
+}
+
+func (p *wrPipe) step() {
+	s := p.s
+	if p.xfer == nil {
+		cmd := p.cmds[p.i]
+		payload := p.data[cmd.blockOff*p.bs : (cmd.blockOff+cmd.blocks)*p.bs]
+		p.req = s.nextPDU(scsi.Write10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), payload, 0)
+		at := s.charge(p.at, s.cost.PerCommand+time.Duration(len(payload)/1024)*s.cost.PerKB)
+		s.net.CountMessage()
+		p.xfer = p.conn.StartTransfer(at, p.req.WireSize(), simnet.ClientToServer)
+		return
+	}
+	p.xfer.Step()
+	if !p.xfer.Done() {
+		return
+	}
+	if p.xfer.Failed() {
+		p.err = fmt.Errorf("iscsi: Data-Out transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		return
+	}
+	resp, svcDone := s.target.HandleCommand(p.xfer.Delivered(), p.req)
+	if resp.Status != scsi.StatusGood {
+		p.err = fmt.Errorf("iscsi: WRITE(10) failed at lba=%d: %s", p.lba+int64(p.cmds[p.i].blockOff), string(resp.Data))
+		return
+	}
+	reply, ok := p.conn.Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	if !ok {
+		p.err = fmt.Errorf("iscsi: status transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		return
+	}
+	s.expStatSN = resp.StatSN
+	p.at = reply
+	if reply > p.end {
+		p.end = reply
+	}
+	p.xfer, p.req = nil, nil
+	p.i++
+}
+
+// WriteBlocks implements blockdev.Device: the extent is striped across the
+// session's connections and the Data-Out phases overlap.
+func (s *Session) WriteBlocks(start time.Duration, lba int64, data []byte) (time.Duration, error) {
+	if !s.loggedIn {
+		return start, fmt.Errorf("iscsi: write before login")
+	}
+	bs := s.BlockSize()
+	if len(data)%bs != 0 {
+		return start, fmt.Errorf("iscsi: write not block-multiple: %d", len(data))
+	}
+	n := len(data) / bs
+	if n == 0 {
+		return start, nil
+	}
+	perConn := s.assign(n)
+	var pipes []pipe
+	for ci, cmds := range perConn {
+		if len(cmds) == 0 {
+			continue
+		}
+		pipes = append(pipes, &wrPipe{s: s, conn: s.conns[ci], lba: lba, bs: bs, data: data,
+			cmds: cmds, at: start, end: start})
+	}
+	return runPipes(pipes)
+}
+
+// ---- the rest of blockdev.Device ----
+
+// BlockSize implements blockdev.Device.
+func (s *Session) BlockSize() int {
+	if s.blockSize == 0 {
+		return s.target.Device().BlockSize()
+	}
+	return s.blockSize
+}
+
+// NumBlocks implements blockdev.Device.
+func (s *Session) NumBlocks() int64 {
+	if s.numBlocks == 0 {
+		return s.target.Device().NumBlocks()
+	}
+	return s.numBlocks
+}
+
+// Flush implements blockdev.Device via SYNCHRONIZE CACHE(10) on the next
+// round-robin connection.
+func (s *Session) Flush(start time.Duration) (time.Duration, error) {
+	if !s.loggedIn {
+		return start, fmt.Errorf("iscsi: flush before login")
+	}
+	ci := s.rr
+	s.rr = (s.rr + 1) % len(s.conns)
+	done, sense, ok := s.command(ci, start, scsi.SyncCache10(0, 0), nil, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: SYNCHRONIZE CACHE failed: %s", string(sense))
+	}
+	return done, nil
+}

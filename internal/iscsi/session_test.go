@@ -1,0 +1,153 @@
+package iscsi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/simnet"
+	"repro/internal/tcpsim"
+)
+
+func sessionNet(rtt time.Duration, loss float64, seed int64) *simnet.Network {
+	return simnet.New(simnet.Config{
+		RTT:              rtt,
+		Bandwidth:        117 << 20,
+		PerFrameOverhead: 66,
+		LossRate:         loss,
+		Seed:             seed,
+	})
+}
+
+func newSessionPair(t *testing.T, n *simnet.Network, conns int, window int) (*Session, *Target, time.Duration) {
+	t.Helper()
+	dev := blockdev.NewTestbedArray(4096)
+	tgt := NewTarget("iqn.2004.repro:mcs", dev, nil)
+	s := NewSession(n, tgt, nil, conns, tcpsim.Config{WindowBytes: window})
+	done, err := s.Login(0)
+	if err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	return s, tgt, done
+}
+
+func TestSessionReadWriteRoundTrip(t *testing.T) {
+	s, _, at := newSessionPair(t, sessionNet(200*time.Microsecond, 0, 1), 2, 0)
+	bs := s.BlockSize()
+	data := bytes.Repeat([]byte{0xCD}, 96*bs)
+	done, err := s.WriteBlocks(at, 100, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	done, err = s.ReadBlocks(done, 100, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read-back mismatch across striped connections")
+	}
+	if done <= at {
+		t.Fatal("virtual time did not advance")
+	}
+	if _, err := s.Flush(done); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionDeviceInterface(t *testing.T) {
+	var _ blockdev.Device = (*Session)(nil)
+	s, _, _ := newSessionPair(t, sessionNet(200*time.Microsecond, 0, 1), 1, 0)
+	if s.BlockSize() != 4096 {
+		t.Fatalf("block size %d", s.BlockSize())
+	}
+	if s.NumBlocks() != 4096 {
+		t.Fatalf("capacity %d blocks", s.NumBlocks())
+	}
+}
+
+func TestMCSOverlapsDataPhases(t *testing.T) {
+	// A window-limited 128 KB read on an 80 ms link: four connections
+	// carry 32 KB each in parallel and beat one connection carrying a
+	// window-bound 128 KB stream.
+	rtt := 80 * time.Millisecond
+	window := 64 << 10
+	read := func(conns int) time.Duration {
+		s, _, at := newSessionPair(t, sessionNet(rtt, 0, 1), conns, window)
+		bs := s.BlockSize()
+		data := bytes.Repeat([]byte{0x42}, 32*bs)
+		at, err := s.WriteBlocks(at, 0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(data))
+		done, err := s.ReadBlocks(at, 0, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done - at
+	}
+	one := read(1)
+	four := read(4)
+	if four >= one {
+		t.Fatalf("MC/S gave no read overlap: 1 conn %v, 4 conns %v", one, four)
+	}
+}
+
+func TestSessionSurvivesLoss(t *testing.T) {
+	s, _, at := newSessionPair(t, sessionNet(5*time.Millisecond, 0.03, 7), 2, 0)
+	bs := s.BlockSize()
+	data := bytes.Repeat([]byte{0x7E}, 64*bs)
+	done, err := s.WriteBlocks(at, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err = s.ReadBlocks(done, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data corrupted by loss recovery")
+	}
+	if s.Stats().Retransmits == 0 {
+		t.Fatal("3% loss produced no TCP retransmissions")
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	run := func() (time.Duration, tcpsim.Stats) {
+		s, _, at := newSessionPair(t, sessionNet(10*time.Millisecond, 0.02, 11), 4, 0)
+		bs := s.BlockSize()
+		data := bytes.Repeat([]byte{0x11}, 128*bs)
+		done, err := s.WriteBlocks(at, 0, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, len(data))
+		done, err = s.ReadBlocks(done, 0, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done, s.Stats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("non-deterministic session: %v/%+v vs %v/%+v", d1, s1, d2, s2)
+	}
+}
+
+func TestSessionCountsOneMessagePerCommand(t *testing.T) {
+	n := sessionNet(200*time.Microsecond, 0, 1)
+	s, _, at := newSessionPair(t, n, 2, 0)
+	before := n.Stats().Messages
+	bs := s.BlockSize()
+	// 128 blocks at MaxTransferBlocks=64 across 2 conns -> 2 commands.
+	if _, err := s.WriteBlocks(at, 0, make([]byte, 128*bs)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Messages - before; got != 2 {
+		t.Fatalf("128-block write counted %d messages, want 2", got)
+	}
+}

@@ -38,9 +38,15 @@ type Config struct {
 	// PerFrameOverhead is added to every frame's size to account for
 	// Ethernet/IP/TCP headers.
 	PerFrameOverhead int
-	// LossRate is the probability of losing any one frame (failure
-	// injection; 0 for all paper experiments except robustness tests).
+	// LossRate is the probability of losing any one MTU-sized fragment
+	// (failure injection; 0 for all paper experiments except robustness
+	// tests). A frame larger than the MTU fragments on the wire and is
+	// lost if any fragment is lost — the amplification that makes large
+	// UDP datagrams (an 8 KB NFS READ reply is six fragments) so fragile
+	// on lossy paths.
 	LossRate float64
+	// MTU bounds one unfragmented wire frame (default 1500).
+	MTU int
 	// Seed seeds the loss-injection RNG.
 	Seed int64
 }
@@ -68,6 +74,9 @@ func New(cfg Config) *Network {
 	if cfg.Bandwidth <= 0 {
 		cfg.Bandwidth = DefaultLAN().Bandwidth
 	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
 	return &Network{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 }
 
@@ -94,20 +103,49 @@ func (n *Network) dir(d Direction) *sim.Resource {
 	return &n.down
 }
 
-// transmit models one frame: serialization on the sending direction plus
-// half-RTT propagation. It returns the arrival time and whether the frame
-// survived loss injection.
-func (n *Network) transmit(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
+// lossProb returns the probability a wire unit of size payload bytes
+// dies. With fragment=false (TCP-carried traffic and the fluid model's
+// message frames) one loss draw covers the unit. With fragment=true (UDP
+// datagrams) the per-fragment rate is amplified across the datagram's MTU
+// fragments — losing any one loses the whole datagram, the fragility that
+// makes 8 KB NFS-over-UDP transfers collapse on lossy paths while TCP
+// loses and retransmits single segments.
+func (n *Network) lossProb(size int, fragment bool) float64 {
+	p := n.cfg.LossRate
+	if p <= 0 || !fragment {
+		return p
+	}
+	frags := (size + n.cfg.MTU - 1) / n.cfg.MTU
+	if frags <= 1 {
+		return p
+	}
+	survive := 1.0
+	for i := 0; i < frags; i++ {
+		survive *= 1 - p
+	}
+	return 1 - survive
+}
+
+// account records one frame of size payload bytes heading in direction d
+// and returns its serialization delay at link bandwidth.
+func (n *Network) account(size int, d Direction) (ser time.Duration) {
 	wire := int64(size + n.cfg.PerFrameOverhead)
-	ser := time.Duration(wire * int64(time.Second) / n.cfg.Bandwidth)
-	sent := n.dir(d).Acquire(start, ser)
 	n.stats.Frames++
 	if d == ClientToServer {
 		n.stats.BytesSent += wire
 	} else {
 		n.stats.BytesRecv += wire
 	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	return time.Duration(wire * int64(time.Second) / n.cfg.Bandwidth)
+}
+
+// transmit models one frame: serialization on the sending direction plus
+// half-RTT propagation. It returns the arrival time and whether the frame
+// survived loss injection.
+func (n *Network) transmit(start time.Duration, size int, d Direction, fragment bool) (arrive time.Duration, ok bool) {
+	ser := n.account(size, d)
+	sent := n.dir(d).Acquire(start, ser)
+	if p := n.lossProb(size, fragment); p > 0 && n.rng.Float64() < p {
 		n.stats.Dropped++
 		return sent + n.cfg.RTT/2, false
 	}
@@ -118,7 +156,60 @@ func (n *Network) transmit(start time.Duration, size int, d Direction) (arrive t
 // still return an arrival time (when they would have arrived) with ok=false
 // so callers can model timeouts.
 func (n *Network) Send(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
-	return n.transmit(start, size, d)
+	return n.transmit(start, size, d, false)
+}
+
+// SendDatagram delivers one UDP datagram: like Send, except that a
+// datagram larger than the MTU fragments on the wire and dies if any one
+// fragment is lost. The SunRPC datagram transport sends through this.
+func (n *Network) SendDatagram(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
+	return n.transmit(start, size, d, true)
+}
+
+// TCP-layer frame primitives. The TCP model is flow-level: a connection
+// paces itself through windows and the ACK clock, and a flight's segments
+// serialize behind one another at link bandwidth (the sender NIC), but
+// frames do not occupy the fluid path's busy horizon. Flows computed
+// atomically in any code order therefore interleave correctly in virtual
+// time — a flight sent "in the future" cannot queue an earlier concurrent
+// flow behind it, which a single busy-until horizon cannot express.
+
+// SendSegment models one TCP data segment leaving at start: it returns
+// the time the sender finished serializing it (the next segment of the
+// flight starts there) and its arrival, and applies loss injection.
+func (n *Network) SendSegment(start time.Duration, size int, d Direction) (sent, arrive time.Duration, ok bool) {
+	sent = start + n.account(size, d)
+	if p := n.lossProb(size, false); p > 0 && n.rng.Float64() < p {
+		n.stats.Dropped++
+		return sent, sent + n.cfg.RTT/2, false
+	}
+	return sent, sent + n.cfg.RTT/2, true
+}
+
+// SendControl delivers a one-way control frame (a pure TCP ACK) exempt
+// from loss injection: cumulative acknowledgment makes the stream robust
+// to individual ACK loss, so modeling it would only add noise. Control
+// frames are counted but, like data segments, stay off the busy horizon.
+func (n *Network) SendControl(start time.Duration, size int, d Direction) (arrive time.Duration) {
+	return start + n.account(size, d) + n.cfg.RTT/2
+}
+
+// Transport is a one-way message carrier a protocol stack ships its bytes
+// through. Two implementations exist: *Network itself (the fluid path —
+// each message is one lossy datagram serialized at link bandwidth plus
+// half-RTT propagation) and tcpsim.Conn (a virtual-time TCP connection
+// with congestion control and internal retransmission, under which ok is
+// false only when the connection has died).
+type Transport interface {
+	// Transfer ships size bytes in direction d starting at start and
+	// returns the time the last byte is available at the receiver. ok
+	// reports whether the transfer was delivered.
+	Transfer(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool)
+}
+
+// Transfer implements Transport over the fluid path: one datagram.
+func (n *Network) Transfer(start time.Duration, size int, d Direction) (arrive time.Duration, ok bool) {
+	return n.transmit(start, size, d, false)
 }
 
 // RoundTrip models one protocol transaction initiated by the client: a
@@ -130,7 +221,7 @@ func (n *Network) Send(start time.Duration, size int, d Direction) (arrive time.
 func (n *Network) RoundTrip(start time.Duration, reqBytes, respBytes int,
 	serve func(arrive time.Duration) time.Duration) (done time.Duration, ok bool) {
 	n.stats.Messages++
-	arrive, ok := n.transmit(start, reqBytes, ClientToServer)
+	arrive, ok := n.transmit(start, reqBytes, ClientToServer, false)
 	if !ok {
 		return arrive, false
 	}
@@ -138,7 +229,7 @@ func (n *Network) RoundTrip(start time.Duration, reqBytes, respBytes int,
 	if finished < arrive {
 		finished = arrive
 	}
-	reply, ok := n.transmit(finished, respBytes, ServerToClient)
+	reply, ok := n.transmit(finished, respBytes, ServerToClient, false)
 	if !ok {
 		return reply, false
 	}
@@ -151,7 +242,7 @@ func (n *Network) RoundTrip(start time.Duration, reqBytes, respBytes int,
 func (n *Network) ServerRoundTrip(start time.Duration, reqBytes, respBytes int,
 	handle func(arrive time.Duration) time.Duration) (done time.Duration, ok bool) {
 	n.stats.Messages++
-	arrive, ok := n.transmit(start, reqBytes, ServerToClient)
+	arrive, ok := n.transmit(start, reqBytes, ServerToClient, false)
 	if !ok {
 		return arrive, false
 	}
@@ -159,7 +250,7 @@ func (n *Network) ServerRoundTrip(start time.Duration, reqBytes, respBytes int,
 	if finished < arrive {
 		finished = arrive
 	}
-	reply, ok := n.transmit(finished, respBytes, ClientToServer)
+	reply, ok := n.transmit(finished, respBytes, ClientToServer, false)
 	if !ok {
 		return reply, false
 	}
@@ -170,7 +261,7 @@ func (n *Network) ServerRoundTrip(start time.Duration, reqBytes, respBytes int,
 // caused by a client-side RPC timeout. The retransmitted frame occupies
 // the uplink like any other traffic.
 func (n *Network) CountRetransmit(start time.Duration, reqBytes int) time.Duration {
-	arrive, _ := n.transmit(start, reqBytes, ClientToServer)
+	arrive, _ := n.transmit(start, reqBytes, ClientToServer, true)
 	n.stats.Retransmits++
 	return arrive
 }

@@ -61,6 +61,14 @@ type Client struct {
 	// MaxRetries bounds retransmissions before the call errors out.
 	MaxRetries int
 
+	// conn, when set, is a reliable byte-stream transport (a tcpsim
+	// connection) the calls ride instead of fluid datagrams: loss
+	// recovery then happens inside TCP and the RPC layer never
+	// retransmits (the Linux RPC-over-TCP timer is 60 s, effectively
+	// unreachable), the behaviour that separates NFS-over-TCP from
+	// NFS-over-UDP as loss rises.
+	conn simnet.Transport
+
 	stats Stats
 }
 
@@ -69,11 +77,27 @@ func NewClient(net *simnet.Network, tr Transport) *Client {
 	return &Client{Net: net, Transport: tr, RTO: 350 * time.Millisecond, MaxRetries: 8}
 }
 
+// SetConn attaches a reliable byte-stream transport. Calls are framed
+// onto the stream (RFC 1831 record marking) and the datagram
+// retransmission machinery is bypassed entirely.
+func (c *Client) SetConn(t simnet.Transport) { c.conn = t }
+
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters.
 func (c *Client) ResetStats() { c.stats = Stats{} }
+
+// sendMsg delivers one call or reply unit on the datagram path: over UDP
+// it is a real datagram — fragmented on the wire and lost whole if any
+// MTU fragment is lost — while the record-marked fluid TCP path keeps the
+// single-frame message model (TCP would recover segments underneath).
+func (c *Client) sendMsg(start time.Duration, size int, d simnet.Direction) (time.Duration, bool) {
+	if c.Transport == UDP {
+		return c.Net.SendDatagram(start, size, d)
+	}
+	return c.Net.Send(start, size, d)
+}
 
 // overhead returns per-message framing bytes.
 func (c *Client) overhead() (call, reply int) {
@@ -98,6 +122,9 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
 	callOH, replyOH := c.overhead()
 	c.stats.Calls++
+	if c.conn != nil {
+		return c.callStream(start, callOH+argBytes, replyOH, serve)
+	}
 
 	attemptStart := start
 	rto := c.RTO
@@ -111,7 +138,7 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	served := false
 	cachedResult := 0
 	for attempt := 0; ; attempt++ {
-		arrive, ok := c.Net.Send(attemptStart, callOH+argBytes, simnet.ClientToServer)
+		arrive, ok := c.sendMsg(attemptStart, callOH+argBytes, simnet.ClientToServer)
 		if ok {
 			var resultBytes int
 			var done time.Duration
@@ -124,7 +151,7 @@ func (c *Client) Call(start time.Duration, argBytes int,
 			if done < arrive {
 				done = arrive
 			}
-			reply, rok := c.Net.Send(done, replyOH+resultBytes, simnet.ServerToClient)
+			reply, rok := c.sendMsg(done, replyOH+resultBytes, simnet.ServerToClient)
 			if rok {
 				// Spurious retransmissions: while the reply was in flight,
 				// did the client's timer fire?
@@ -144,6 +171,30 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	}
 }
 
+// callStream performs one RPC over the attached byte stream: the call
+// record travels to the server, the reply record travels back, and any
+// frame loss is absorbed by TCP's own retransmission below the RPC layer.
+// The call fails only if the connection itself dies.
+func (c *Client) callStream(start time.Duration, callBytes, replyOH int,
+	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
+	c.Net.CountMessage()
+	arrive, ok := c.conn.Transfer(start, callBytes, simnet.ClientToServer)
+	if !ok {
+		c.stats.Failures++
+		return arrive, fmt.Errorf("sunrpc: stream transport failed sending call")
+	}
+	resultBytes, done := serve(arrive)
+	if done < arrive {
+		done = arrive
+	}
+	reply, ok := c.conn.Transfer(done, replyOH+resultBytes, simnet.ServerToClient)
+	if !ok {
+		c.stats.Failures++
+		return reply, fmt.Errorf("sunrpc: stream transport failed sending reply")
+	}
+	return reply, nil
+}
+
 // spuriousRetransmits models the pathology from Section 4.6: the reply is
 // in transit but the client's timer fires anyway. Each spurious
 // retransmission sends a duplicate request; the server's duplicate request
@@ -156,7 +207,7 @@ func (c *Client) spuriousRetransmits(start, reply time.Duration, reqSize, respSi
 		c.stats.Retransmits++
 		arrive := c.Net.CountRetransmit(deadline, reqSize)
 		// Duplicate reply from the duplicate-request cache.
-		dup, _ := c.Net.Send(arrive, respSize, simnet.ServerToClient)
+		dup, _ := c.sendMsg(arrive, respSize, simnet.ServerToClient)
 		if dup > done {
 			done = dup
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/tcpsim"
 )
 
 func lan() *simnet.Network { return simnet.New(simnet.DefaultLAN()) }
@@ -82,6 +83,85 @@ func TestDuplicateRequestCacheNoReexecution(t *testing.T) {
 		if executions > 1 {
 			t.Fatalf("call %d executed %d times (duplicate request cache broken)", i, executions)
 		}
+	}
+}
+
+func TestStreamCallRidesTCP(t *testing.T) {
+	n := lan()
+	c := NewClient(n, TCP)
+	conn := tcpsim.NewConn(n, tcpsim.Config{})
+	start, err := conn.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetConn(conn)
+	done, err := c.Call(start, 100, func(arrive time.Duration) (int, time.Duration) {
+		return 8192, arrive + time.Millisecond
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= start+time.Millisecond {
+		t.Fatalf("done %v before service+wire time", done)
+	}
+	if c.Stats().Calls != 1 || c.Stats().Retransmits != 0 {
+		t.Fatalf("rpc stats: %+v", c.Stats())
+	}
+	if n.Stats().Messages != 1 {
+		t.Fatalf("messages = %d, want 1", n.Stats().Messages)
+	}
+	if conn.Stats().Segments < 7 {
+		t.Fatalf("8 KB reply over TCP sent %d segments, want >= 7", conn.Stats().Segments)
+	}
+}
+
+func TestStreamAbsorbsLossWithoutRPCRetransmits(t *testing.T) {
+	// 5% frame loss: the datagram path must retransmit at RPC level; the
+	// stream path recovers inside TCP and the RPC counters stay clean.
+	n := simnet.New(simnet.Config{RTT: time.Millisecond, Bandwidth: 1 << 30, LossRate: 0.05, Seed: 4})
+	c := NewClient(n, TCP)
+	conn := tcpsim.NewConn(n, tcpsim.Config{})
+	start, err := conn.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetConn(conn)
+	at := start
+	for i := 0; i < 50; i++ {
+		at, err = c.Call(at, 1024, func(arrive time.Duration) (int, time.Duration) {
+			return 8192, arrive
+		})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if s := c.Stats(); s.Retransmits != 0 || s.Timeouts != 0 {
+		t.Fatalf("RPC layer retransmitted over TCP: %+v", s)
+	}
+	if conn.Stats().Retransmits == 0 {
+		t.Fatal("TCP absorbed no losses at 5% frame loss")
+	}
+}
+
+func TestStreamNoSpuriousRetransmitsAtHighRTT(t *testing.T) {
+	// The Section 4.6 pathology is a UDP artifact: over TCP the RPC timer
+	// (60 s on Linux) never fires at WAN latencies.
+	n := simnet.New(simnet.Config{RTT: 500 * time.Millisecond, Bandwidth: 1 << 30})
+	c := NewClient(n, TCP)
+	c.RTO = 100 * time.Millisecond
+	conn := tcpsim.NewConn(n, tcpsim.Config{})
+	start, err := conn.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetConn(conn)
+	if _, err := c.Call(start, 100, func(arrive time.Duration) (int, time.Duration) {
+		return 100, arrive
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Retransmits != 0 {
+		t.Fatalf("spurious RPC retransmissions over TCP: %+v", c.Stats())
 	}
 }
 

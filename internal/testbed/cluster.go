@@ -29,6 +29,11 @@ type ClusterConfig struct {
 	ServerCacheBlocks int
 	// Seed for loss injection and workloads.
 	Seed int64
+	// Transport selects the wire model every client uses; Conns and
+	// WindowBytes parameterize TransportTCP (see Config).
+	Transport   Transport
+	Conns       int
+	WindowBytes int
 }
 
 // base converts to a single-client Config carrying the shared knobs.
@@ -41,6 +46,9 @@ func (c *ClusterConfig) base() Config {
 		ClientCacheBlocks: c.ClientCacheBlocks,
 		ServerCacheBlocks: c.ServerCacheBlocks,
 		Seed:              c.Seed,
+		Transport:         c.Transport,
+		Conns:             c.Conns,
+		WindowBytes:       c.WindowBytes,
 	}
 	b.fill()
 	c.DeviceBlocks = b.DeviceBlocks
@@ -69,6 +77,9 @@ type Cluster struct {
 // NewCluster builds and mounts an N-client cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	base := cfg.base()
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
 	cl := &Cluster{
 		Kind:      cfg.Kind,
 		Cfg:       cfg,

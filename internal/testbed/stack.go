@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
+	"repro/internal/tcpsim"
 	"repro/internal/vfs"
 )
 
@@ -44,6 +45,9 @@ type Stack interface {
 type StackCounters struct {
 	// RPC is populated for NFS stacks (SunRPC call/retransmit counts).
 	RPC sunrpc.Stats
+	// TCP aggregates tcpsim connection counters for stacks running over
+	// TransportTCP (zero under the fluid and UDP models).
+	TCP tcpsim.Stats
 }
 
 // hw bundles the per-client hardware a stack is built against.
@@ -141,6 +145,7 @@ type nfsStack struct {
 	hw     hw
 	srv    *nfsServer
 	rpc    *sunrpc.Client
+	conn   *tcpsim.Conn // non-nil under TransportTCP
 	client *nfs.Client
 }
 
@@ -150,7 +155,11 @@ func (st *nfsStack) Counters() StackCounters {
 	if st.rpc == nil {
 		return StackCounters{}
 	}
-	return StackCounters{RPC: st.rpc.Stats()}
+	c := StackCounters{RPC: st.rpc.Stats()}
+	if st.conn != nil {
+		c.TCP = st.conn.Stats()
+	}
+	return c
 }
 
 func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
@@ -169,7 +178,27 @@ func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
 	case NFSv4:
 		ver = nfs.V4
 	}
+	// The transport knob overrides the version's historical default: the
+	// paper's client ran v3 over UDP, and the Figure 6 counterfactual
+	// runs it over real TCP.
+	switch st.hw.cfg.Transport {
+	case TransportUDP:
+		transport = sunrpc.UDP
+	case TransportTCP:
+		transport = sunrpc.TCP
+	}
 	st.rpc = sunrpc.NewClient(st.hw.net, transport)
+	if st.hw.cfg.Transport == TransportTCP {
+		if st.conn == nil || !st.conn.Established() {
+			st.conn = tcpsim.NewConn(st.hw.net, st.hw.cfg.tcpConfig())
+			done, err := st.conn.Connect(now)
+			if err != nil {
+				return now, fmt.Errorf("testbed: nfs tcp connect: %w", err)
+			}
+			now = done
+		}
+		st.rpc.SetConn(st.conn)
+	}
 	st.client = nfs.NewClient(ver, st.rpc, st.srv.srv, st.hw.cpu)
 	st.client.SetCacheCapacity(st.hw.cfg.ClientCacheBlocks)
 	done, err := st.client.Mount(now)
@@ -206,26 +235,45 @@ func (st *nfsStack) ColdCache(now time.Duration) (time.Duration, error) {
 
 // ---- iSCSI ----
 
-// iscsiStack is one client's iSCSI session: an initiator logged into a
-// target LUN, with the client's own ext3 mounted on the remote volume.
-type iscsiStack struct {
-	hw        hw
-	target    *iscsi.Target
-	initiator *iscsi.Initiator
-	fs        *ext3.FS
+// iscsiEndpoint is the client half of an iSCSI stack: a block device that
+// must log in before use. Initiator (fluid path) and Session (MC/S TCP
+// path) both satisfy it.
+type iscsiEndpoint interface {
+	blockdev.Device
+	Login(at time.Duration) (time.Duration, error)
 }
 
-func (st *iscsiStack) Kind() Kind              { return ISCSI }
-func (st *iscsiStack) FS() vfs.FileSystem      { return st.fs }
-func (st *iscsiStack) Counters() StackCounters { return StackCounters{} }
+// iscsiStack is one client's iSCSI session: an initiator (or MC/S session
+// under TransportTCP) logged into a target LUN, with the client's own ext3
+// mounted on the remote volume.
+type iscsiStack struct {
+	hw       hw
+	target   *iscsi.Target
+	endpoint iscsiEndpoint
+	fs       *ext3.FS
+}
+
+func (st *iscsiStack) Kind() Kind         { return ISCSI }
+func (st *iscsiStack) FS() vfs.FileSystem { return st.fs }
+func (st *iscsiStack) Counters() StackCounters {
+	if s, ok := st.endpoint.(*iscsi.Session); ok {
+		return StackCounters{TCP: s.Stats()}
+	}
+	return StackCounters{}
+}
 
 func (st *iscsiStack) Mount(now time.Duration) (time.Duration, error) {
-	st.initiator = iscsi.NewInitiator(st.hw.net, st.target, st.hw.cpu)
-	done, err := st.initiator.Login(now)
+	if st.hw.cfg.Transport == TransportTCP {
+		st.endpoint = iscsi.NewSession(st.hw.net, st.target, st.hw.cpu,
+			st.hw.cfg.Conns, st.hw.cfg.tcpConfig())
+	} else {
+		st.endpoint = iscsi.NewInitiator(st.hw.net, st.target, st.hw.cpu)
+	}
+	done, err := st.endpoint.Login(now)
 	if err != nil {
 		return now, fmt.Errorf("testbed: iscsi login: %w", err)
 	}
-	fs, done, err := ext3.Mount(done, st.initiator, st.hw.clientFSOpts())
+	fs, done, err := ext3.Mount(done, st.endpoint, st.hw.clientFSOpts())
 	if err != nil {
 		return now, fmt.Errorf("testbed: iscsi mount: %w", err)
 	}
@@ -257,7 +305,7 @@ func (st *iscsiStack) ColdCache(now time.Duration) (time.Duration, error) {
 		}
 		now = done
 	}
-	fs, done, err := ext3.Mount(now, st.initiator, st.hw.clientFSOpts())
+	fs, done, err := ext3.Mount(now, st.endpoint, st.hw.clientFSOpts())
 	if err != nil {
 		return now, err
 	}

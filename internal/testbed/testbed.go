@@ -26,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
+	"repro/internal/tcpsim"
 )
 
 // Kind selects the storage stack.
@@ -55,6 +56,35 @@ func (k Kind) String() string {
 // AllKinds lists the four stacks in the paper's table order.
 var AllKinds = []Kind{NFSv2, NFSv3, NFSv4, ISCSI}
 
+// Transport selects the wire model protocol bytes ride on.
+type Transport int
+
+// Transport modes.
+const (
+	// TransportFluid is the original model: every message is one lossy
+	// datagram charged serialization plus half-RTT propagation.
+	TransportFluid Transport = iota
+	// TransportUDP forces datagram RPC with client-side timeouts for
+	// every NFS version (the paper's Linux client ran v3 over UDP).
+	// iSCSI rejects it: the protocol requires TCP.
+	TransportUDP
+	// TransportTCP runs protocol bytes through tcpsim virtual-time TCP
+	// connections: slow start, window caps, delayed ACKs and RTO-driven
+	// retransmission replace the fluid charges.
+	TransportTCP
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportUDP:
+		return "udp"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return "fluid"
+	}
+}
+
 // Config parameterizes a testbed.
 type Config struct {
 	Kind Kind
@@ -77,6 +107,14 @@ type Config struct {
 	Seed int64
 	// LossRate injects frame loss (failure testing).
 	LossRate float64
+	// Transport selects the wire model (default TransportFluid).
+	Transport Transport
+	// Conns is the iSCSI MC/S connection count under TransportTCP
+	// (default 1; NFS always uses a single connection).
+	Conns int
+	// WindowBytes caps each TCP connection's window — the rmem/wmem
+	// tuning knob from Section 3.1 (default 64 KB).
+	WindowBytes int
 }
 
 func (c *Config) fill() {
@@ -95,6 +133,31 @@ func (c *Config) fill() {
 	if c.ServerCacheBlocks == 0 {
 		c.ServerCacheBlocks = 262144
 	}
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.WindowBytes == 0 {
+		c.WindowBytes = 64 << 10
+	}
+}
+
+// validate rejects transport combinations no real deployment has.
+func (c Config) validate() error {
+	if c.Kind == ISCSI && c.Transport == TransportUDP {
+		return fmt.Errorf("testbed: iSCSI requires TCP (no UDP transport exists)")
+	}
+	if c.Conns > 1 && (c.Transport != TransportTCP || c.Kind != ISCSI) {
+		return fmt.Errorf("testbed: multiple connections (MC/S) require Kind=ISCSI and TransportTCP")
+	}
+	return nil
+}
+
+// tcpConfig builds the per-connection TCP parameters. Nagle is off: the
+// Linux NFS client and every serious iSCSI initiator set TCP_NODELAY so a
+// sub-MSS request or response tail is not held hostage to the delayed-ACK
+// timer (RFC 3720 recommends it explicitly).
+func (c Config) tcpConfig() tcpsim.Config {
+	return tcpsim.Config{WindowBytes: c.WindowBytes, DisableNagle: true}
 }
 
 // network builds the simulated LAN for a config.
@@ -124,8 +187,10 @@ type Testbed struct {
 
 	dev *blockdev.Local
 
-	// iSCSI internals.
+	// iSCSI internals. Initiator carries the fluid path; Session the
+	// MC/S TCP path (exactly one is non-nil for an iSCSI testbed).
 	Initiator *iscsi.Initiator
+	Session   *iscsi.Session
 	Target    *iscsi.Target
 	ClientFS  *ext3.FS // client-side ext3 (iSCSI only)
 
@@ -139,6 +204,9 @@ type Testbed struct {
 // New builds and mounts a testbed.
 func New(cfg Config) (*Testbed, error) {
 	cfg.fill()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	net := cfg.network()
 	clientCPU := sim.NewCPU(1.0)
 	serverCPU := sim.NewCPU(1.87) // 2 x 933 MHz
@@ -179,7 +247,13 @@ func New(cfg Config) (*Testbed, error) {
 func (tb *Testbed) syncCompat() {
 	switch st := tb.Stack.(type) {
 	case *iscsiStack:
-		tb.Initiator = st.initiator
+		tb.Initiator, tb.Session = nil, nil
+		switch ep := st.endpoint.(type) {
+		case *iscsi.Initiator:
+			tb.Initiator = ep
+		case *iscsi.Session:
+			tb.Session = ep
+		}
 		tb.Target = st.target
 		tb.ClientFS = st.fs
 	case *nfsStack:
