@@ -380,6 +380,41 @@ func BenchmarkTransport(b *testing.B) {
 	report(b, udpPenalty, "nfs-udp/tcp-elapsed@5%loss")
 }
 
+// BenchmarkReplay replays a slice of the EECS-like trace through the full
+// protocol stacks over virtual-time TCP and reports the NFS v3 p99 per-op
+// latency and throughput alongside the iSCSI p99 (the replayed version of
+// the paper's meta-data latency gap, for the perf trajectory).
+func BenchmarkReplay(b *testing.B) {
+	var p99us, opsPerSec, iscsiP99us float64
+	for i := 0; i < b.N; i++ {
+		cells, err := core.RunReplay(core.ReplayConfig{
+			Profiles:     []string{"eecs"},
+			Stacks:       []core.Stack{core.NFSv3, core.ISCSI},
+			Transports:   []testbed.Transport{testbed.TransportTCP},
+			Clients:      2,
+			MaxOps:       400,
+			DirMod:       32,
+			DeviceBlocks: 8192,
+			Seed:         42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			switch c.Stack {
+			case core.NFSv3:
+				p99us = float64(c.P99.Microseconds())
+				opsPerSec = c.OpsPerSec
+			case core.ISCSI:
+				iscsiP99us = float64(c.P99.Microseconds())
+			}
+		}
+	}
+	report(b, p99us, "nfsv3-replay-p99-us")
+	report(b, opsPerSec, "nfsv3-replay-ops/s")
+	report(b, iscsiP99us, "iscsi-replay-p99-us")
+}
+
 // BenchmarkFigure7TraceSharing regenerates the sharing analysis.
 func BenchmarkFigure7TraceSharing(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,168 @@
+// Command replay drives the trace-replay engine: the Section 7 workloads
+// (EECS-like and Campus-like synthesized traces, or any JSONL op log)
+// replayed open-loop through an N-client cluster on every protocol stack,
+// under both the fluid wire model and virtual-time TCP. It reports
+// per-op latency percentiles (p50/p90/p99, nearest-rank), the slowest
+// client's mean, and aggregate replayed-op throughput.
+//
+//	go run ./cmd/replay -profile eecs -stacks all
+//	go run ./cmd/replay -profile campus -dump campus.jsonl   # export trace
+//	go run ./cmd/replay -file campus.jsonl -clients 8        # replay a log
+//
+// Identical seeds give byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+func main() {
+	profile := flag.String("profile", "both", "built-in trace profile (eecs, campus, both)")
+	file := flag.String("file", "", "replay a JSONL op log instead of a built-in profile")
+	dump := flag.String("dump", "", "write the selected profile's trace as JSONL to this file and exit")
+	clients := flag.Int("clients", 4, "cluster size (traced client ids fold onto it)")
+	ops := flag.Int("ops", 2000, "max ops replayed per trace (0 = all)")
+	dirs := flag.Int("dirs", 64, "directory namespace size (trace dirs fold onto it)")
+	stacks := flag.String("stacks", "all", "stacks to sweep (all or nfsv2,nfsv3,nfsv4,iscsi)")
+	transports := flag.String("transports", "fluid,tcp", "wire models to sweep (fluid,udp,tcp)")
+	conns := flag.Int("conns", 1, "iSCSI MC/S connection count under TCP")
+	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	if *dump != "" {
+		dumpProfile(*profile, *dump)
+		return
+	}
+
+	maxOps := *ops
+	if maxOps == 0 {
+		maxOps = -1 // core.ReplayConfig spells "everything" as negative
+	}
+	cfg := core.ReplayConfig{
+		Clients:     *clients,
+		MaxOps:      maxOps,
+		DirMod:      *dirs,
+		Conns:       *conns,
+		WindowBytes: *window << 10,
+		Seed:        *seed,
+	}
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err.Error())
+		}
+		recs, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		if len(recs) == 0 {
+			fatal("op log " + *file + " is empty")
+		}
+		cfg.Records = recs
+		cfg.RecordsName = *file
+	} else {
+		cfg.Profiles = parseProfiles(*profile)
+	}
+	cfg.Stacks = parseStacks(*stacks)
+	for _, tr := range strings.Split(*transports, ",") {
+		switch strings.ToLower(strings.TrimSpace(tr)) {
+		case "fluid":
+			cfg.Transports = append(cfg.Transports, testbed.TransportFluid)
+		case "udp":
+			cfg.Transports = append(cfg.Transports, testbed.TransportUDP)
+		case "tcp":
+			cfg.Transports = append(cfg.Transports, testbed.TransportTCP)
+		case "":
+		default:
+			fatal("unknown transport " + tr)
+		}
+	}
+
+	cells, err := core.RunReplay(cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+	core.RenderReplay(os.Stdout, cells)
+}
+
+// parseProfiles expands the -profile flag.
+func parseProfiles(p string) []string {
+	switch strings.ToLower(strings.TrimSpace(p)) {
+	case "both", "all", "":
+		return core.ReplayProfiles
+	case "eecs":
+		return []string{"eecs"}
+	case "campus":
+		return []string{"campus"}
+	default:
+		fatal("unknown profile " + p + " (eecs, campus, both)")
+		return nil
+	}
+}
+
+// parseStacks expands the -stacks flag.
+func parseStacks(s string) []core.Stack {
+	if strings.ToLower(strings.TrimSpace(s)) == "all" {
+		return testbed.AllKinds
+	}
+	var out []core.Stack
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "nfsv2":
+			out = append(out, core.NFSv2)
+		case "nfsv3":
+			out = append(out, core.NFSv3)
+		case "nfsv4":
+			out = append(out, core.NFSv4)
+		case "iscsi":
+			out = append(out, core.ISCSI)
+		case "":
+		default:
+			fatal("unknown stack " + name)
+		}
+	}
+	if len(out) == 0 {
+		fatal("-stacks needs at least one stack")
+	}
+	return out
+}
+
+// dumpProfile exports a built-in profile's synthesized trace as JSONL.
+func dumpProfile(profile, path string) {
+	names := parseProfiles(profile)
+	if len(names) != 1 {
+		fatal("-dump needs exactly one -profile (eecs or campus)")
+	}
+	var recs []trace.Record
+	if names[0] == "eecs" {
+		recs = trace.Synthesize(trace.EECS())
+	} else {
+		recs = trace.Synthesize(trace.Campus())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if err := trace.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		fatal(err.Error())
+	}
+	if err := f.Close(); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Printf("wrote %d records (%s) to %s\n", len(recs), names[0], path)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "replay:", msg)
+	os.Exit(1)
+}

@@ -90,6 +90,12 @@ func (c *Client) Ops() int64 { return c.ops }
 // commit interval, as elapsed wall-clock does between manual invocations).
 func (c *Client) Idle(d time.Duration) { c.Clock.Advance(d) }
 
+// IdleUntil advances the client's clock to t if t lies in the future (a
+// no-op otherwise). It is the open-loop pacing primitive for externally
+// timestamped drivers: a trace replayer waits for an operation's issue
+// time without stretching work that already completed.
+func (c *Client) IdleUntil(t time.Duration) { c.Clock.AdvanceTo(t) }
+
 // Compute charges application CPU on the client and advances the clock
 // (workloads use it to model their own processing, e.g. DB2's query work).
 func (c *Client) Compute(d time.Duration) {

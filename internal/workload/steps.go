@@ -23,17 +23,50 @@ type Ops interface {
 // virtual-time order; a single-client run just drives one to completion.
 type Steps func() (more bool, err error)
 
-// runSteps drives a step function to completion (the single-client path).
-func runSteps(s Steps) func() error {
-	return func() error {
-		for {
-			more, err := s()
-			if err != nil {
-				return err
-			}
-			if !more {
-				return nil
-			}
+// RunSteps drives a step machine to completion (the single-client path).
+func RunSteps(s Steps) error {
+	for {
+		more, err := s()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
 		}
 	}
+}
+
+// runSteps adapts RunSteps to the measure() closure signature.
+func runSteps(s Steps) func() error {
+	return func() error { return RunSteps(s) }
+}
+
+// Chain sequences step machines: each runs to completion before the next
+// starts, preserving one-operation-per-step granularity so a scheduler
+// still interleaves the chained phases fairly against other clients.
+func Chain(steps ...Steps) Steps {
+	i := 0
+	return func() (bool, error) {
+		if i >= len(steps) {
+			return false, nil
+		}
+		more, err := steps[i]()
+		if err != nil {
+			return false, err
+		}
+		if !more {
+			i++
+		}
+		return i < len(steps), nil
+	}
+}
+
+// Drivers adapts a per-client Steps slice to the raw step-function slice
+// testbed.Cluster.Run consumes (index-aligned with the cluster's clients).
+func Drivers(steps []Steps) []func() (more bool, err error) {
+	ds := make([]func() (more bool, err error), len(steps))
+	for i, s := range steps {
+		ds[i] = s
+	}
+	return ds
 }
