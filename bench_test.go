@@ -9,7 +9,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,22 +17,27 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// benchJSON, when set, appends every headline metric as a JSON line, so CI
-// runs can accumulate a machine-readable perf trajectory across PRs:
+// benchJSON, when set, appends every headline metric to a JSONL telemetry
+// stream in the unified event schema (docs/METRICS.md: subsys "bench",
+// point events tagged {bench, metric}), so CI runs accumulate a
+// machine-readable perf trajectory across PRs that cmd/metrics can
+// validate and summarize alongside sweep telemetry:
 //
 //	go test -bench=. -benchjson=bench.jsonl .
-var benchJSON = flag.String("benchjson", "", "append headline benchmark metrics as JSON lines to this file")
+//	go run ./cmd/metrics -by bench,metric bench.jsonl
+var benchJSON = flag.String("benchjson", "", "append headline benchmark metrics as JSONL telemetry events to this file")
 
 type benchRecord struct {
-	Bench  string  `json:"bench"`
-	Metric string  `json:"metric"`
-	Value  float64 `json:"value"`
-	N      int     `json:"n"`
+	bench  string
+	metric string
+	value  float64
+	n      int
 }
 
 // benchRecords holds the latest value per (bench, metric). The testing
@@ -42,8 +46,8 @@ type benchRecord struct {
 // — one JSON line per metric per `go test` run.
 var benchRecords = map[string]benchRecord{}
 
-// report records a headline metric as a testing.B custom metric and,
-// when -benchjson is set, as a JSON line {bench, metric, value, n}.
+// report records a headline metric as a testing.B custom metric and, when
+// -benchjson is set, as a telemetry point event.
 func report(b *testing.B, value float64, metric string) {
 	b.ReportMetric(value, metric)
 	benchRecords[b.Name()+"\x00"+metric] = benchRecord{b.Name(), metric, value, b.N}
@@ -60,7 +64,9 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// flushBenchJSON appends the buffered records in sorted key order.
+// flushBenchJSON appends the buffered records in sorted key order. Bench
+// events are wall-clock measurements with no virtual timeline, so they
+// carry t=0 (the documented convention for subsys "bench").
 func flushBenchJSON() error {
 	if *benchJSON == "" || len(benchRecords) == 0 {
 		return nil
@@ -75,9 +81,15 @@ func flushBenchJSON() error {
 		return err
 	}
 	defer f.Close()
-	enc := json.NewEncoder(f)
 	for _, k := range keys {
-		if err := enc.Encode(benchRecords[k]); err != nil {
+		r := benchRecords[k]
+		e := metrics.Event{
+			Subsys: metrics.SubsysBench,
+			Kind:   metrics.KindPoint,
+			Tags:   metrics.Tags{"bench": r.bench, "metric": r.metric},
+			Values: map[string]float64{"value": r.value, "n": float64(r.n)},
+		}
+		if err := metrics.WriteEvent(f, e); err != nil {
 			return err
 		}
 	}

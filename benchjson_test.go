@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestBenchJSONSchema exercises the -benchjson flush path and validates
+// its output against the unified event schema (docs/METRICS.md): subsys
+// "bench", point events at t=0 tagged {bench, metric} — the same stream
+// CI uploads as an artifact and checks with `cmd/metrics -validate`.
+func TestBenchJSONSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.jsonl")
+	old, oldRecords := *benchJSON, benchRecords
+	*benchJSON = path
+	benchRecords = map[string]benchRecord{
+		"BenchmarkA\x00msgs": {bench: "BenchmarkA", metric: "msgs", value: 42.5, n: 3},
+		"BenchmarkB\x00rate": {bench: "BenchmarkB", metric: "rate", value: 1.08, n: 1},
+	}
+	defer func() { *benchJSON, benchRecords = old, oldRecords }()
+
+	if err := flushBenchJSON(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := metrics.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("benchjson output does not validate: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	e := events[0]
+	if e.Subsys != metrics.SubsysBench || e.Kind != metrics.KindPoint || e.T != 0 {
+		t.Fatalf("bad bench event shape: %+v", e)
+	}
+	if e.Tags["bench"] != "BenchmarkA" || e.Tags["metric"] != "msgs" {
+		t.Fatalf("bad bench tags: %+v", e.Tags)
+	}
+	if e.Values["value"] != 42.5 || e.Values["n"] != 3 {
+		t.Fatalf("bad bench values: %+v", e.Values)
+	}
+}

@@ -11,15 +11,21 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
-	opts := core.Options{}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)
 	}
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		die(err)
+	}
+	opts := core.Options{Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "ablate"})}
 
 	fmt.Println("Ablation 1: journal commit interval (iSCSI meta-data burst)")
 	res, err := core.AblateCommitInterval(opts, nil, 0)
@@ -55,5 +61,11 @@ func main() {
 	}
 	for _, r := range []core.AblationResult{withAtime, noAtime} {
 		fmt.Printf("  %-16s msgs=%-6d time=%v\n", r.Setting, r.Messages, r.Elapsed)
+	}
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		die(fmt.Errorf("metrics: %w", err))
 	}
 }

@@ -13,12 +13,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
 	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
 	step := flag.Int("step", 20, "RTT step in ms (paper plots 10ms steps; 1..80)")
 	loss := flag.Float64("loss", 0, "frame loss rate in % (0..50)")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
 	if *step < 1 || *step > 80 {
@@ -34,11 +36,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "latency:", err)
+		os.Exit(1)
+	}
+
 	var rtts []time.Duration
 	for ms := 10; ms <= 90; ms += *step {
 		rtts = append(rtts, time.Duration(ms)*time.Millisecond)
 	}
-	points, err := core.RunFigure6(core.Options{LossRate: *loss / 100}, *sizeMB<<20, rtts)
+	points, err := core.RunFigure6(core.Options{
+		LossRate: *loss / 100,
+		Metrics:  metrics.NewRecorder(sink, metrics.Tags{"cmd": "latency"}),
+	}, *sizeMB<<20, rtts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latency:", err)
 		os.Exit(1)
@@ -47,4 +58,12 @@ func main() {
 		fmt.Printf("Figure 6 with %.1f%% frame loss injected on the WAN path\n\n", *loss)
 	}
 	core.RenderFigure6(os.Stdout, points)
+	if err := sink.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "latency: metrics:", err)
+		os.Exit(1)
+	}
+	if err := closeSink(); err != nil {
+		fmt.Fprintln(os.Stderr, "latency: metrics:", err)
+		os.Exit(1)
+	}
 }

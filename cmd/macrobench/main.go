@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -24,14 +25,19 @@ func main() {
 	cpu := flag.Bool("cpu", false, "regenerate CPU utilization tables 9 and 10")
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
-	opts := core.Options{}
-	s := core.MacroScale(*scale)
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "macrobench:", err)
 		os.Exit(1)
 	}
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		die(err)
+	}
+	opts := core.Options{Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "macrobench"})}
+	s := core.MacroScale(*scale)
 
 	runTPCC := func() {
 		row, err := core.RunTable6(opts, s)
@@ -81,5 +87,11 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		die(fmt.Errorf("metrics: %w", err))
 	}
 }

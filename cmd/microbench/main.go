@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -26,13 +27,18 @@ func main() {
 	figure := flag.Int("figure", 0, "figure to regenerate (3, 4 or 5)")
 	all := flag.Bool("all", false, "run every micro-benchmark")
 	check := flag.Bool("check", false, "run paper-shape conformance checks on the tables")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
-	opts := core.Options{}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "microbench:", err)
 		os.Exit(1)
 	}
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		die(err)
+	}
+	opts := core.Options{Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "microbench"})}
 
 	fails := 0
 	runTable := func(n int) {
@@ -61,6 +67,13 @@ func main() {
 		}
 	}
 	defer func() {
+		if err := sink.Err(); err == nil {
+			err = closeSink()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microbench: metrics:", err)
+			fails++
+		}
 		if fails > 0 {
 			os.Exit(1)
 		}

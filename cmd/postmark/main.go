@@ -9,16 +9,32 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "scale factor for pool/transactions (1.0 = paper)")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
-	rows, err := core.RunTable5(core.Options{}, core.MacroScale(*scale))
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "postmark:", err)
+		os.Exit(1)
+	}
+	rows, err := core.RunTable5(core.Options{
+		Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "postmark"}),
+	}, core.MacroScale(*scale))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "postmark:", err)
 		os.Exit(1)
 	}
 	core.RenderTable5(os.Stdout, rows)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "postmark: metrics:", err)
+		os.Exit(1)
+	}
 }

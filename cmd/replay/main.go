@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -35,6 +36,7 @@ func main() {
 	conns := flag.Int("conns", 1, "iSCSI MC/S connection count under TCP")
 	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
 	if *dump != "" {
@@ -42,6 +44,10 @@ func main() {
 		return
 	}
 
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fatal(err.Error())
+	}
 	maxOps := *ops
 	if maxOps == 0 {
 		maxOps = -1 // core.ReplayConfig spells "everything" as negative
@@ -53,6 +59,7 @@ func main() {
 		Conns:       *conns,
 		WindowBytes: *window << 10,
 		Seed:        *seed,
+		Metrics:     metrics.NewRecorder(sink, metrics.Tags{"cmd": "replay"}),
 	}
 	if *file != "" {
 		f, err := os.Open(*file)
@@ -92,6 +99,12 @@ func main() {
 		fatal(err.Error())
 	}
 	core.RenderReplay(os.Stdout, cells)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fatal("metrics: " + err.Error())
+	}
 }
 
 // parseProfiles expands the -profile flag.

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -23,6 +24,7 @@ func main() {
 	pmFiles := flag.Int("pm-files", 50, "per-client PostMark pool size")
 	pmTxns := flag.Int("pm-txns", 250, "per-client PostMark transactions")
 	seed := flag.Int64("seed", 0, "workload seed")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
 	var counts []int
@@ -49,6 +51,11 @@ func main() {
 		wls = append(wls, wl)
 	}
 
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
+	}
 	cells, err := core.RunScaling(core.ScaleConfig{
 		Counts:               counts,
 		Workloads:            wls,
@@ -56,10 +63,18 @@ func main() {
 		PostMarkFiles:        *pmFiles,
 		PostMarkTransactions: *pmTxns,
 		Seed:                 *seed,
+		Metrics:              metrics.NewRecorder(sink, metrics.Tags{"cmd": "scale"}),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scale:", err)
 		os.Exit(1)
 	}
 	core.RenderScaling(os.Stdout, cells)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale: metrics:", err)
+		os.Exit(1)
+	}
 }

@@ -9,16 +9,32 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
 	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
-	rows, err := core.RunTable4(core.Options{}, *sizeMB<<20)
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqrand:", err)
+		os.Exit(1)
+	}
+	rows, err := core.RunTable4(core.Options{
+		Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "seqrand"}),
+	}, *sizeMB<<20)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqrand:", err)
 		os.Exit(1)
 	}
 	core.RenderTable4(os.Stdout, rows)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqrand: metrics:", err)
+		os.Exit(1)
+	}
 }

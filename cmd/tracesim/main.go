@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -17,18 +19,37 @@ func main() {
 	figure7 := flag.Bool("figure7", false, "directory sharing analysis (Figure 7)")
 	enhance := flag.Bool("enhance", false, "meta-data cache and delegation simulation")
 	all := flag.Bool("all", false, "run both")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
 	if !*figure7 && !*enhance && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
+	rec := metrics.NewRecorder(sink, metrics.Tags{"cmd": "tracesim", "experiment": "tracesim"})
 	profiles := []trace.Profile{trace.EECS(), trace.Campus()}
 	if *figure7 || *all {
 		for _, p := range profiles {
 			recs := trace.Synthesize(p)
 			pts := trace.AnalyzeSharing(recs, nil)
 			fmt.Print(trace.FormatSharing(p.Name, pts))
+			// Whole-trace analyses carry the sharing interval in virtual
+			// time and the profile in tags.
+			for _, pt := range pts {
+				rec.Point(pt.Interval, metrics.SubsysRun,
+					metrics.Tags{"analysis": "sharing", "profile": p.Name},
+					map[string]float64{
+						"read_one":         pt.ReadOne,
+						"write_one":        pt.WriteOne,
+						"read_multiple":    pt.ReadMultiple,
+						"written_multiple": pt.WrittenMultiple,
+					})
+			}
 		}
 	}
 	if *enhance || *all {
@@ -39,6 +60,10 @@ func main() {
 			for _, size := range []int{64, 256, 1024, 4096} {
 				r := trace.SimulateMetadataCache(recs, size)
 				fmt.Printf("%-8s %-10d %11.1f%% %12.4f\n", p.Name, size, r.Reduction*100, r.CallbackRatio)
+				rec.Point(0, metrics.SubsysRun,
+					metrics.Tags{"analysis": "metadata-cache", "profile": p.Name,
+						"cache": strconv.Itoa(size)},
+					map[string]float64{"reduction": r.Reduction, "callback_ratio": r.CallbackRatio})
 			}
 		}
 		fmt.Println("Section 7: directory delegation")
@@ -46,6 +71,16 @@ func main() {
 		for _, p := range profiles {
 			r := trace.SimulateDelegation(trace.Synthesize(p))
 			fmt.Printf("%-8s %11.1f%% %12.4f\n", p.Name, r.MessageReduction*100, r.RecallRatio)
+			rec.Point(0, metrics.SubsysRun,
+				metrics.Tags{"analysis": "delegation", "profile": p.Name},
+				map[string]float64{"reduction": r.MessageReduction, "recall_ratio": r.RecallRatio})
 		}
+	}
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim: metrics:", err)
+		os.Exit(1)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -30,12 +31,18 @@ func main() {
 	workloads := flag.String("workloads", "seq-read,seq-write",
 		"workloads ("+strings.Join(core.TransportWorkloads, ",")+")")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fatal(err.Error())
+	}
 	cfg := core.TransportConfig{
 		FileSize:  *size << 20,
 		ChunkSize: *chunk,
 		Seed:      *seed,
+		Metrics:   metrics.NewRecorder(sink, metrics.Tags{"cmd": "transport"}),
 	}
 	for _, ms := range floats(*rtts, "rtts") {
 		cfg.RTTs = append(cfg.RTTs, time.Duration(ms*float64(time.Millisecond)))
@@ -79,6 +86,12 @@ func main() {
 		fatal(err.Error())
 	}
 	core.RenderTransport(os.Stdout, cells)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fatal("metrics: " + err.Error())
+	}
 }
 
 // floats parses a comma-separated list of non-negative numbers.

@@ -163,6 +163,11 @@ func (l *Local) RAID() *simdisk.RAID5 { return l.raid }
 // Stats returns array-level I/O counters.
 func (l *Local) Stats() metrics.DiskStats { return l.raid.Stats() }
 
+// Counters exports the backing array's counters for the metrics event
+// stream (metrics.SubsysDisk; see docs/METRICS.md). LUNs sharing one
+// array report the same (shared) counters.
+func (l *Local) Counters() map[string]int64 { return l.raid.Counters() }
+
 // ReadBlocks implements Device.
 func (l *Local) ReadBlocks(start time.Duration, lba int64, buf []byte) (time.Duration, error) {
 	if l.FailReads {

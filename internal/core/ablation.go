@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -41,10 +42,13 @@ func AblateCommitInterval(opts Options, intervals []time.Duration, ops int) ([]A
 			DeviceBlocks:   opts.DeviceBlocks,
 			CommitInterval: iv,
 			Seed:           opts.Seed,
+			Metrics: cellRecorder(opts.Metrics, "ablate", ISCSI,
+				metrics.Tags{"knob": "commit-interval", "setting": durTag(iv)}),
 		})
 		if err != nil {
 			return nil, err
 		}
+		beginCell(tb, nil)
 		before := tb.Snap()
 		for i := 0; i < ops; i++ {
 			if err := tb.Mkdir(fmt.Sprintf("/ci%d", i)); err != nil {
@@ -57,6 +61,10 @@ func AblateCommitInterval(opts Options, intervals []time.Duration, ops int) ([]A
 			return nil, err
 		}
 		d := tb.Since(before)
+		endCell(tb, nil, map[string]float64{
+			"elapsed_ns": float64(d.Elapsed),
+			"messages":   float64(d.Messages),
+		})
 		out = append(out, AblationResult{
 			Setting:  fmt.Sprintf("commit=%v", iv),
 			Elapsed:  d.Elapsed,
@@ -75,15 +83,22 @@ func AblateSyncExport(opts Options, ops int) (async, sync AblationResult, err er
 		ops = 200
 	}
 	run := func(syncMode bool) (AblationResult, error) {
+		setting := "async-export"
+		if syncMode {
+			setting = "sync-export"
+		}
 		tb, err := testbed.New(testbed.Config{
 			Kind:         NFSv3,
 			DeviceBlocks: opts.DeviceBlocks,
 			Seed:         opts.Seed,
+			Metrics: cellRecorder(opts.Metrics, "ablate", NFSv3,
+				metrics.Tags{"knob": "export-durability", "setting": setting}),
 		})
 		if err != nil {
 			return AblationResult{}, err
 		}
 		tb.NFSServer.SyncMetadataUpdates = syncMode
+		beginCell(tb, nil)
 		before := tb.Snap()
 		for i := 0; i < ops; i++ {
 			if err := tb.Mkdir(fmt.Sprintf("/se%d", i)); err != nil {
@@ -94,11 +109,11 @@ func AblateSyncExport(opts Options, ops int) (async, sync AblationResult, err er
 			return AblationResult{}, err
 		}
 		d := tb.Since(before)
-		name := "async-export"
-		if syncMode {
-			name = "sync-export"
-		}
-		return AblationResult{Setting: name, Elapsed: d.Elapsed, Messages: d.Messages}, nil
+		endCell(tb, nil, map[string]float64{
+			"elapsed_ns": float64(d.Elapsed),
+			"messages":   float64(d.Messages),
+		})
+		return AblationResult{Setting: setting, Elapsed: d.Elapsed, Messages: d.Messages}, nil
 	}
 	if async, err = run(false); err != nil {
 		return
@@ -124,6 +139,8 @@ func AblateWritePool(opts Options, bounds []int, fileSize int64) ([]AblationResu
 			Kind:         NFSv3,
 			DeviceBlocks: opts.DeviceBlocks,
 			Seed:         opts.Seed,
+			Metrics: cellRecorder(opts.Metrics, "ablate", NFSv3,
+				metrics.Tags{"knob": "write-pool", "setting": itoa(bound)}),
 		})
 		if err != nil {
 			return nil, err
@@ -153,11 +170,17 @@ func AblateNoAtime(opts Options, reads int) (withAtime, noAtime AblationResult, 
 		reads = 100
 	}
 	run := func(noatime bool) (AblationResult, error) {
+		setting := "atime"
+		if noatime {
+			setting = "noatime"
+		}
 		tb, err := testbed.New(testbed.Config{
 			Kind:         ISCSI,
 			DeviceBlocks: opts.DeviceBlocks,
 			NoAtime:      noatime,
 			Seed:         opts.Seed,
+			Metrics: cellRecorder(opts.Metrics, "ablate", ISCSI,
+				metrics.Tags{"knob": "atime", "setting": setting}),
 		})
 		if err != nil {
 			return AblationResult{}, err
@@ -168,6 +191,7 @@ func AblateNoAtime(opts Options, reads int) (withAtime, noAtime AblationResult, 
 		if err := tb.Drain(); err != nil {
 			return AblationResult{}, err
 		}
+		beginCell(tb, nil)
 		before := tb.Snap()
 		f, err := tb.Open("/hot")
 		if err != nil {
@@ -184,11 +208,11 @@ func AblateNoAtime(opts Options, reads int) (withAtime, noAtime AblationResult, 
 			return AblationResult{}, err
 		}
 		d := tb.Since(before)
-		name := "atime"
-		if noatime {
-			name = "noatime"
-		}
-		return AblationResult{Setting: name, Elapsed: d.Elapsed, Messages: d.Messages}, nil
+		endCell(tb, nil, map[string]float64{
+			"elapsed_ns": float64(d.Elapsed),
+			"messages":   float64(d.Messages),
+		})
+		return AblationResult{Setting: setting, Elapsed: d.Elapsed, Messages: d.Messages}, nil
 	}
 	if withAtime, err = run(false); err != nil {
 		return

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/vfs"
 )
@@ -105,7 +106,8 @@ func RunFigure3(opts Options, batches []int) ([]BatchSeries, error) {
 	for _, op := range BatchOps {
 		s := BatchSeries{Op: op.Name}
 		for _, n := range batches {
-			tb, err := opts.newBed(ISCSI)
+			cell := metrics.Tags{"op": op.Name, "batch": itoa(n)}
+			tb, err := opts.newBed("figure3", ISCSI, cell)
 			if err != nil {
 				return nil, err
 			}
@@ -117,6 +119,7 @@ func RunFigure3(opts Options, batches []int) ([]BatchSeries, error) {
 			if err := tb.ColdCache(); err != nil {
 				return nil, err
 			}
+			beginCell(tb, nil)
 			before := tb.Snap()
 			for i := 0; i < n; i++ {
 				if err := op.Run(tb, i); err != nil {
@@ -127,6 +130,10 @@ func RunFigure3(opts Options, batches []int) ([]BatchSeries, error) {
 				return nil, err
 			}
 			total := tb.Since(before).Messages
+			endCell(tb, nil, map[string]float64{
+				"messages":    float64(total),
+				"msgs_per_op": float64(total) / float64(n),
+			})
 			s.Points = append(s.Points, BatchPoint{
 				Batch:     n,
 				TotalMsgs: total,

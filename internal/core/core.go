@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 )
 
@@ -51,6 +52,10 @@ type Options struct {
 	// LossRate injects frame loss on the testbed link, so the WAN sweeps
 	// (Figure 6 and cmd/latency) can model lossy long-haul paths.
 	LossRate float64
+	// Metrics, when non-nil, receives telemetry from every experiment
+	// run with these Options: each cell's testbed streams tagged counter
+	// samples and result points (see docs/METRICS.md).
+	Metrics *metrics.Recorder
 }
 
 func (o *Options) fill() {
@@ -62,14 +67,16 @@ func (o *Options) fill() {
 	}
 }
 
-// newBed builds a testbed for one stack.
-func (o Options) newBed(k Stack) (*testbed.Testbed, error) {
+// newBed builds a testbed for one stack, instrumented as one telemetry
+// cell: its events carry {experiment, stack} plus the extra axis tags.
+func (o Options) newBed(experiment string, k Stack, extra metrics.Tags) (*testbed.Testbed, error) {
 	o.fill()
 	return testbed.New(testbed.Config{
 		Kind:         k,
 		DeviceBlocks: o.DeviceBlocks,
 		Seed:         o.Seed,
 		LossRate:     o.LossRate,
+		Metrics:      cellRecorder(o.Metrics, experiment, k, extra),
 	})
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 )
 
@@ -62,11 +63,19 @@ func RunFigure5(opts Options, sizes []int) ([]SizeSeries, error) {
 }
 
 // ioSizeCount measures one Figure 5 cell.
-func ioSizeCount(opts Options, stack Stack, panel string, size int) (int64, error) {
-	tb, err := opts.newBed(stack)
+func ioSizeCount(opts Options, stack Stack, panel string, size int) (msgs int64, err error) {
+	tb, err := opts.newBed("figure5", stack,
+		metrics.Tags{"panel": panel, "size": itoa(size)})
 	if err != nil {
 		return 0, err
 	}
+	// Close the telemetry cell on every successful exit (the measured
+	// windows below each end with the message-count delta).
+	defer func() {
+		if err == nil {
+			endCell(tb, nil, map[string]float64{"messages": float64(msgs)})
+		}
+	}()
 	// The target file always holds 64 KB so every read size is in-file.
 	if err := tb.WriteFile("/io.dat", make([]byte, 64<<10)); err != nil {
 		return 0, err
@@ -76,6 +85,7 @@ func ioSizeCount(opts Options, stack Stack, panel string, size int) (int64, erro
 	}
 	switch panel {
 	case "cold-read":
+		beginCell(tb, nil)
 		before := tb.Snap()
 		f, err := tb.Open("/io.dat")
 		if err != nil {
@@ -105,6 +115,7 @@ func ioSizeCount(opts Options, stack Stack, panel string, size int) (int64, erro
 		}
 		opts.fill()
 		tb.Idle(opts.WarmGap)
+		beginCell(tb, nil)
 		before := tb.Snap()
 		buf := make([]byte, size)
 		if _, err := tb.ReadFileAt(f, 0, buf); err != nil {
@@ -115,6 +126,7 @@ func ioSizeCount(opts Options, stack Stack, panel string, size int) (int64, erro
 		}
 		return tb.Since(before).Messages, nil
 	case "cold-write":
+		beginCell(tb, nil)
 		before := tb.Snap()
 		f, err := tb.Open("/io.dat")
 		if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -53,7 +54,7 @@ func RunTable5(opts Options, scale MacroScale) ([]Table5Row, error) {
 		cfg.Transactions = scale.apply(100000)
 		row := Table5Row{Files: cfg.Files}
 		for _, stack := range []Stack{NFSv3, ISCSI} {
-			tb, err := opts.newBed(stack)
+			tb, err := opts.newBed("table5", stack, metrics.Tags{"files": itoa(cfg.Files)})
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +76,7 @@ func RunTable5(opts Options, scale MacroScale) ([]Table5Row, error) {
 // dbBed builds a testbed whose cache-to-database ratio mirrors the paper's
 // (the 30 GB TPC-C and 1 GB TPC-H databases dwarfed the 512 MB client and
 // 1 GB server).
-func (o Options) dbBed(k Stack, dbSize int64) (*testbed.Testbed, error) {
+func (o Options) dbBed(experiment string, k Stack, dbSize int64) (*testbed.Testbed, error) {
 	o.fill()
 	dbBlocks := int(dbSize / 4096)
 	return testbed.New(testbed.Config{
@@ -84,6 +85,7 @@ func (o Options) dbBed(k Stack, dbSize int64) (*testbed.Testbed, error) {
 		Seed:              o.Seed,
 		ClientCacheBlocks: maxInt(dbBlocks/8, 512),
 		ServerCacheBlocks: maxInt(dbBlocks/4, 1024),
+		Metrics:           cellRecorder(o.Metrics, experiment, k, nil),
 	})
 }
 
@@ -110,7 +112,7 @@ func RunTable6(opts Options, scale MacroScale) (TPCRow, error) {
 	cfg.Transactions = scale.apply(cfg.Transactions)
 	row := TPCRow{Benchmark: "TPC-C"}
 	for _, stack := range []Stack{NFSv3, ISCSI} {
-		tb, err := opts.dbBed(stack, cfg.DBSize)
+		tb, err := opts.dbBed("table6", stack, cfg.DBSize)
 		if err != nil {
 			return row, err
 		}
@@ -138,7 +140,7 @@ func RunTable7(opts Options, scale MacroScale) (TPCRow, error) {
 	}
 	row := TPCRow{Benchmark: "TPC-H"}
 	for _, stack := range []Stack{NFSv3, ISCSI} {
-		tb, err := opts.dbBed(stack, cfg.DBSize)
+		tb, err := opts.dbBed("table7", stack, cfg.DBSize)
 		if err != nil {
 			return row, err
 		}
@@ -172,7 +174,7 @@ func RunTable8(opts Options, scale MacroScale) ([]Table8Row, error) {
 	names := []string{"tar -xzf", "ls -lR", "kernel compile", "rm -rf"}
 	results := map[Stack][]workload.Result{}
 	for _, stack := range []Stack{NFSv3, ISCSI} {
-		tb, err := opts.newBed(stack)
+		tb, err := opts.newBed("table8", stack, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +229,7 @@ func RunTable9And10(opts Options, scale MacroScale) ([]CPURow, error) {
 	pm.Transactions = scale.apply(100000)
 	row := CPURow{Benchmark: "PostMark"}
 	for _, stack := range []Stack{NFSv3, ISCSI} {
-		tb, err := opts.newBed(stack)
+		tb, err := opts.newBed("table9and10", stack, nil)
 		if err != nil {
 			return nil, err
 		}

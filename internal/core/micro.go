@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 )
 
@@ -292,7 +293,12 @@ func FindMicroOp(name string) (MicroOp, error) {
 // MicroCount measures one (op, depth, stack, warm) cell: the number of
 // protocol transactions from invocation to quiescence.
 func MicroCount(opts Options, op MicroOp, depth int, stack Stack, warm bool) (int64, error) {
-	tb, err := opts.newBed(stack)
+	mode := "cold"
+	if warm {
+		mode = "warm"
+	}
+	tb, err := opts.newBed("micro", stack,
+		metrics.Tags{"op": op.Name, "depth": itoa(depth), "mode": mode})
 	if err != nil {
 		return 0, err
 	}
@@ -318,6 +324,7 @@ func MicroCount(opts Options, op MicroOp, depth int, stack Stack, warm bool) (in
 		opts.fill()
 		tb.Idle(opts.WarmGap)
 	}
+	beginCell(tb, nil)
 	before := tb.Snap()
 	run := op.Cold
 	if warm {
@@ -329,7 +336,9 @@ func MicroCount(opts Options, op MicroOp, depth int, stack Stack, warm bool) (in
 	if err := tb.Drain(); err != nil {
 		return 0, err
 	}
-	return tb.Since(before).Messages, nil
+	msgs := tb.Since(before).Messages
+	endCell(tb, nil, map[string]float64{"messages": float64(msgs)})
+	return msgs, nil
 }
 
 // SyscallRow is one row of Table 2 or Table 3: message counts for the four

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/replay"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -56,6 +57,9 @@ type ReplayConfig struct {
 	DeviceBlocks int64
 	// Seed for the cluster.
 	Seed int64
+	// Metrics, when non-nil, receives per-cell telemetry tagged with the
+	// sweep axes (see docs/METRICS.md).
+	Metrics *metrics.Recorder
 }
 
 func (c *ReplayConfig) fill() {
@@ -187,6 +191,8 @@ func runReplayCell(cfg ReplayConfig, name string, recs []trace.Record,
 		Transport:    tr,
 		Conns:        conns,
 		WindowBytes:  cfg.WindowBytes,
+		Metrics: cellRecorder(cfg.Metrics, "replay", stack,
+			metrics.Tags{"profile": name, "conns": itoa(conns), "clients": itoa(cfg.Clients)}),
 	})
 	if err != nil {
 		return ReplayCell{}, err
@@ -195,10 +201,20 @@ func runReplayCell(cfg ReplayConfig, name string, recs []trace.Record,
 	if maxOps < 0 {
 		maxOps = 0 // replay.Options spells "everything" as 0
 	}
+	beginClusterCell(cl, nil)
 	res, err := replay.Run(cl, recs, replay.Options{DirMod: cfg.DirMod, MaxOps: maxOps})
 	if err != nil {
 		return ReplayCell{}, err
 	}
+	endClusterCell(cl, nil, map[string]float64{
+		"ops":         float64(len(res.Ops)),
+		"elapsed_ns":  float64(res.Elapsed),
+		"p50_ns":      float64(res.P50),
+		"p90_ns":      float64(res.P90),
+		"p99_ns":      float64(res.P99),
+		"mean_ns":     float64(res.Mean),
+		"ops_per_sec": res.OpsPerSec,
+	})
 	cell := ReplayCell{
 		Profile:   name,
 		Stack:     stack,

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -41,6 +42,9 @@ type ScaleConfig struct {
 	DeviceBlocks int64
 	// Seed for workload randomness.
 	Seed int64
+	// Metrics, when non-nil, receives per-cell telemetry tagged with the
+	// sweep axes (see docs/METRICS.md).
+	Metrics *metrics.Recorder
 }
 
 func (c *ScaleConfig) fill() {
@@ -134,6 +138,8 @@ func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int) (ScaleCell, er
 		Clients:      n,
 		DeviceBlocks: dev,
 		Seed:         cfg.Seed,
+		Metrics: cellRecorder(cfg.Metrics, "scale", stack,
+			metrics.Tags{"workload": wl, "clients": itoa(n)}),
 	})
 	if err != nil {
 		return ScaleCell{}, err
@@ -204,6 +210,7 @@ func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int) (ScaleCell, er
 	}
 
 	// Measured window: interleaved run, then drain to quiescence.
+	beginClusterCell(cl, nil)
 	before := cl.Snap()
 	startOps := make([]int64, n)
 	startT := make([]time.Duration, n)
@@ -232,7 +239,7 @@ func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int) (ScaleCell, er
 		elapsed = time.Millisecond
 	}
 	secs := elapsed.Seconds()
-	return ScaleCell{
+	cell := ScaleCell{
 		Workload:         wl,
 		Stack:            stack,
 		Clients:          n,
@@ -242,7 +249,16 @@ func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int) (ScaleCell, er
 		PerClientLatency: latSum / time.Duration(n),
 		ServerCPU:        float64(d.ServerBusy) / float64(elapsed),
 		Messages:         d.Messages,
-	}, nil
+	}
+	endClusterCell(cl, nil, map[string]float64{
+		"elapsed_ns":            float64(cell.Elapsed),
+		"agg_bytes_per_sec":     cell.AggBytesPerSec,
+		"agg_ops_per_sec":       cell.AggOpsPerSec,
+		"per_client_latency_ns": float64(cell.PerClientLatency),
+		"server_cpu":            cell.ServerCPU,
+		"messages":              float64(cell.Messages),
+	})
+	return cell, nil
 }
 
 // RenderScaling prints the sweep grouped by workload: one row block per

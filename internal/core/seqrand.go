@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -28,19 +29,20 @@ func RunTable4(opts Options, fileSize int64) ([]Table4Row, error) {
 	}
 	type runner struct {
 		name string
+		slug string
 		fn   func(*testbed.Testbed, workload.SeqRandConfig) (workload.Result, error)
 	}
 	runners := []runner{
-		{"Sequential reads", workload.SequentialRead},
-		{"Random reads", workload.RandomRead},
-		{"Sequential writes", workload.SequentialWrite},
-		{"Random writes", workload.RandomWrite},
+		{"Sequential reads", "seq-read", workload.SequentialRead},
+		{"Random reads", "rand-read", workload.RandomRead},
+		{"Sequential writes", "seq-write", workload.SequentialWrite},
+		{"Random writes", "rand-write", workload.RandomWrite},
 	}
 	var rows []Table4Row
 	for _, r := range runners {
 		row := Table4Row{Workload: r.name}
 		for _, stack := range []Stack{NFSv3, ISCSI} {
-			tb, err := opts.newBed(stack)
+			tb, err := opts.newBed("table4", stack, metrics.Tags{"workload": r.slug})
 			if err != nil {
 				return nil, err
 			}
@@ -95,7 +97,8 @@ func RunFigure6(opts Options, fileSize int64, rtts []time.Duration) ([]LatencyPo
 		for _, stack := range []Stack{NFSv3, ISCSI} {
 			pt.Seconds[stack] = map[string]float64{}
 			for _, r := range runners {
-				tb, err := opts.newBed(stack)
+				tb, err := opts.newBed("figure6", stack,
+					metrics.Tags{"workload": r.name, "rtt": durTag(rtt)})
 				if err != nil {
 					return nil, err
 				}

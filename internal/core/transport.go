@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -43,6 +44,9 @@ type TransportConfig struct {
 	DeviceBlocks int64
 	// Seed for loss injection and workload randomness.
 	Seed int64
+	// Metrics, when non-nil, receives per-cell telemetry tagged with the
+	// sweep axes (see docs/METRICS.md).
+	Metrics *metrics.Recorder
 }
 
 func (c *TransportConfig) fill() {
@@ -166,6 +170,13 @@ func RunTransport(cfg TransportConfig) ([]TransportCell, error) {
 // runTransportCell builds one testbed and measures one workload on it.
 func runTransportCell(cfg TransportConfig, wl string, stack Stack, v variant,
 	rtt time.Duration, loss float64, window int) (TransportCell, error) {
+	cell := metrics.Tags{
+		"workload": wl,
+		"rtt":      durTag(rtt),
+		"loss":     ftoa(loss),
+		"window":   itoa(window),
+		"conns":    itoa(v.conns),
+	}
 	tb, err := testbed.New(testbed.Config{
 		Kind:         stack,
 		DeviceBlocks: cfg.DeviceBlocks,
@@ -175,6 +186,7 @@ func runTransportCell(cfg TransportConfig, wl string, stack Stack, v variant,
 		Transport:    v.transport,
 		Conns:        v.conns,
 		WindowBytes:  window,
+		Metrics:      cellRecorder(cfg.Metrics, "transport", stack, cell),
 	})
 	if err != nil {
 		return TransportCell{}, err
@@ -202,6 +214,9 @@ func runTransportCell(cfg TransportConfig, wl string, stack Stack, v variant,
 		return TransportCell{}, err
 	}
 	counters := tb.Client.Stack.Counters()
+	tb.Metrics().Point(tb.Clock.Now(), metrics.SubsysRun, nil, map[string]float64{
+		"bytes_per_sec": float64(bytes) / res.Elapsed.Seconds(),
+	})
 	return TransportCell{
 		Stack:       stack,
 		Transport:   v.transport,

@@ -645,6 +645,19 @@ func (fs *FS) JournalStats() (commits, checkpoints int64) {
 	return fs.journal.Commits, fs.journal.Checkpoints
 }
 
+// Counters exports buffer-cache and journal counters for the metrics
+// event stream (metrics.SubsysExt3; see docs/METRICS.md).
+func (fs *FS) Counters() map[string]int64 {
+	return map[string]int64{
+		"cache_hits":          fs.bc.stats.Hits,
+		"cache_misses":        fs.bc.stats.Misses,
+		"cache_evictions":     fs.bc.stats.Evictions,
+		"readahead_hits":      fs.bc.stats.ReadAheadHits,
+		"journal_commits":     fs.journal.Commits,
+		"journal_checkpoints": fs.journal.Checkpoints,
+	}
+}
+
 // FreeBlocks reports the free-block count (allocator invariant checks).
 func (fs *FS) FreeBlocks() uint64 { return fs.sb.FreeBlocks }
 

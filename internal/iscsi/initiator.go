@@ -29,9 +29,17 @@ type Initiator struct {
 	cmdSN     uint32
 	expStatSN uint32
 	loggedIn  bool
+	retries   int64
 
 	blockSize int
 	numBlocks int64
+}
+
+// Counters exports initiator-level counters for the metrics event stream
+// (metrics.SubsysISCSI): SCSI commands issued and loss-recovery retries
+// on the fluid wire model.
+func (i *Initiator) Counters() map[string]int64 {
+	return map[string]int64{"commands": int64(i.cmdSN), "retries": i.retries}
 }
 
 // DefaultInitiatorCosts returns the iSCSI client path cost (network +
@@ -143,6 +151,7 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 			if attempt >= maxCommandRetries {
 				return done, nil, false
 			}
+			i.retries++
 			at = done + rto
 			rto *= 2
 			continue

@@ -56,6 +56,14 @@ func NewSession(net *simnet.Network, target *Target, cpu *sim.CPU, nConns int, t
 // Conns reports the connection count.
 func (s *Session) Conns() int { return len(s.conns) }
 
+// Counters exports session-level counters for the metrics event stream
+// (metrics.SubsysISCSI): SCSI commands issued (CmdSN-numbered, so MC/S
+// striped sub-commands count individually). The per-connection TCP
+// counters are reported separately under metrics.SubsysTCP via Stats.
+func (s *Session) Counters() map[string]int64 {
+	return map[string]int64{"commands": int64(s.cmdSN)}
+}
+
 // SetCosts overrides the client CPU cost model.
 func (s *Session) SetCosts(c CostModel) { s.cost = c }
 

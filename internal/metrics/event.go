@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The unified telemetry event stream. Every instrumented subsystem —
+// simnet links, tcpsim connections, the SunRPC layer, the RAID array,
+// iSCSI sessions, the NFS server, ext3 caches and the simulated CPUs —
+// reports counter deltas as JSON-lines events stamped with virtual time
+// and tagged by {experiment, stack, transport, client, ...}. The schema
+// is documented in docs/METRICS.md; cmd/metrics summarizes and validates
+// streams.
+
+// Event kinds.
+const (
+	// KindSample carries counter deltas accumulated since the previous
+	// sample from the same source (a closed measurement window).
+	KindSample = "sample"
+	// KindPoint carries instantaneous values (derived results, gauges).
+	KindPoint = "point"
+	// KindMark is a phase boundary with no payload beyond its tags.
+	KindMark = "mark"
+)
+
+// Well-known subsystem names (the vocabulary is open; these are the ones
+// the simulator emits — see docs/METRICS.md for each one's counters).
+const (
+	SubsysNet   = "net"   // simnet link counters
+	SubsysTCP   = "tcp"   // tcpsim connection counters
+	SubsysRPC   = "rpc"   // sunrpc client counters
+	SubsysDisk  = "disk"  // blockdev/simdisk array counters
+	SubsysISCSI = "iscsi" // iSCSI initiator/session counters
+	SubsysNFS   = "nfs"   // NFS server per-procedure counters
+	SubsysExt3  = "ext3"  // ext3 buffer-cache and journal counters
+	SubsysCPU   = "cpu"   // simulated processor busy time
+	SubsysRun   = "run"   // experiment harness marks and cell results
+	SubsysBench = "bench" // go test -benchjson headline metrics
+)
+
+// Tags is the string-to-string tag set attached to an event. Tag keys are
+// a controlled vocabulary (experiment, stack, transport, client, workload,
+// phase, plus experiment axes); see docs/METRICS.md.
+type Tags map[string]string
+
+// Event is one JSONL telemetry record. The zero value is invalid; use the
+// Recorder (or fill every required field) and keep the stream append-only.
+type Event struct {
+	// T is the virtual time of the event in nanoseconds since the
+	// emitting simulation began. Wall-clock emitters (the benchmark
+	// harness) use 0.
+	T int64 `json:"t"`
+	// Subsys names the emitting subsystem (SubsysNet, SubsysDisk, ...).
+	Subsys string `json:"subsys"`
+	// Kind is the event kind: KindSample, KindPoint or KindMark.
+	Kind string `json:"event"`
+	// Tags identify the emitting context.
+	Tags Tags `json:"tags,omitempty"`
+	// Counters are monotonic counter deltas (sample events only).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Values are instantaneous measurements (point events only).
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Validate checks the event against the documented schema.
+func (e Event) Validate() error {
+	if e.T < 0 {
+		return fmt.Errorf("metrics: negative timestamp %d", e.T)
+	}
+	if e.Subsys == "" {
+		return fmt.Errorf("metrics: missing subsys")
+	}
+	for k, v := range e.Tags {
+		if k == "" || v == "" {
+			return fmt.Errorf("metrics: empty tag key or value (%q=%q)", k, v)
+		}
+	}
+	switch e.Kind {
+	case KindSample:
+		if len(e.Counters) == 0 {
+			return fmt.Errorf("metrics: sample event with no counters")
+		}
+		if len(e.Values) != 0 {
+			return fmt.Errorf("metrics: sample event carries values")
+		}
+	case KindPoint:
+		if len(e.Values) == 0 {
+			return fmt.Errorf("metrics: point event with no values")
+		}
+		if len(e.Counters) != 0 {
+			return fmt.Errorf("metrics: point event carries counters")
+		}
+	case KindMark:
+		if len(e.Counters) != 0 || len(e.Values) != 0 {
+			return fmt.Errorf("metrics: mark event carries a payload")
+		}
+	default:
+		return fmt.Errorf("metrics: unknown event kind %q", e.Kind)
+	}
+	for k := range e.Counters {
+		if k == "" {
+			return fmt.Errorf("metrics: empty counter name")
+		}
+	}
+	for k := range e.Values {
+		if k == "" {
+			return fmt.Errorf("metrics: empty value name")
+		}
+	}
+	return nil
+}
+
+// Encode validates the event and returns its canonical JSON line (no
+// trailing newline). encoding/json sorts map keys, so identical events
+// always encode to identical bytes — the property the determinism goldens
+// rely on.
+func (e Event) Encode() ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(e)
+}
+
+// Decode parses one JSONL line into a validated event. Unknown fields
+// and trailing content after the event object are rejected, so schema
+// drift and stream corruption are caught at read time rather than
+// silently dropping data.
+func Decode(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var e Event
+	if err := dec.Decode(&e); err != nil {
+		return Event{}, fmt.Errorf("metrics: bad event line: %w", err)
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("metrics: trailing content after event")
+	}
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+// WriteEvent appends one validated event line to w.
+func WriteEvent(w io.Writer, e Event) error {
+	b, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadEvents decodes and validates an entire JSONL stream. Blank lines are
+// skipped; the first invalid line fails the read with its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []Event
+	for n := 1; sc.Scan(); n++ {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := Decode(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", n, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortedKeys returns m's keys in lexicographic order (deterministic
+// iteration for rendering; the JSON codec sorts on its own).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -49,9 +49,22 @@ func (s NetStats) Sub(o NetStats) NetStats {
 	}
 }
 
+// String renders the headline counters for log lines.
 func (s NetStats) String() string {
 	return fmt.Sprintf("msgs=%d frames=%d bytes=%d retrans=%d",
 		s.Messages, s.Frames, s.Bytes(), s.Retransmits)
+}
+
+// Counters exports the stats as event-stream counters (SubsysNet).
+func (s NetStats) Counters() map[string]int64 {
+	return map[string]int64{
+		"messages":    s.Messages,
+		"frames":      s.Frames,
+		"bytes_sent":  s.BytesSent,
+		"bytes_recv":  s.BytesRecv,
+		"retransmits": s.Retransmits,
+		"dropped":     s.Dropped,
+	}
 }
 
 // DiskStats aggregates counters for one disk or array.
@@ -85,3 +98,14 @@ func (s DiskStats) Sub(o DiskStats) DiskStats {
 
 // Ops returns total I/O operations.
 func (s DiskStats) Ops() int64 { return s.Reads + s.Writes }
+
+// Counters exports the stats as event-stream counters (SubsysDisk).
+func (s DiskStats) Counters() map[string]int64 {
+	return map[string]int64{
+		"reads":          s.Reads,
+		"writes":         s.Writes,
+		"blocks_read":    s.BlocksRead,
+		"blocks_written": s.BlocksWrit,
+		"seeks":          s.Seeks,
+	}
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stream summarization: the self-serve half of the telemetry subsystem.
+// Summarize rolls a recorded event stream up into per-(subsys, tag)
+// totals, virtual-time rates and value percentiles, so a sweep can be
+// re-analyzed without re-running the simulation; Windows buckets sample
+// deltas into fixed virtual-time windows for counter-over-time plots.
+
+// Group is one (subsys, selected-tags) roll-up.
+type Group struct {
+	// Subsys is the emitting subsystem.
+	Subsys string
+	// Tags holds the selected grouping tags (only keys named in the
+	// Summarize call, and only when present on the events).
+	Tags Tags
+	// Events counts events folded into this group.
+	Events int
+	// FirstT/LastT bound the group's virtual-time activity in ns.
+	FirstT, LastT int64
+	// Counters are summed sample deltas per counter name.
+	Counters map[string]int64
+	// Values collects every point value per value name (for percentiles).
+	Values map[string][]float64
+}
+
+// Key renders the group identity ("net stack=iscsi transport=tcp").
+func (g Group) Key() string {
+	parts := []string{g.Subsys}
+	for _, k := range sortedKeys(g.Tags) {
+		parts = append(parts, k+"="+g.Tags[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summary is a full-stream roll-up.
+type Summary struct {
+	// By echoes the grouping tag keys.
+	By []string
+	// Groups are sorted by Key for deterministic rendering.
+	Groups []*Group
+}
+
+// Summarize folds events into per-(subsys, by-tags) groups: sample
+// counters are summed, point values collected, and the active virtual
+// window recorded. Mark events count toward Events and the window only.
+func Summarize(events []Event, by []string) *Summary {
+	// Group keys are built in sorted-tag order (matching Group.Key) once
+	// per event, without materializing a Group per lookup.
+	keys := append([]string(nil), by...)
+	sort.Strings(keys)
+	groups := map[string]*Group{}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.Reset()
+		sb.WriteString(e.Subsys)
+		for _, k := range keys {
+			if v, ok := e.Tags[k]; ok {
+				sb.WriteByte(' ')
+				sb.WriteString(k)
+				sb.WriteByte('=')
+				sb.WriteString(v)
+			}
+		}
+		key := sb.String()
+		g, ok := groups[key]
+		if !ok {
+			tags := Tags{}
+			for _, k := range keys {
+				if v, ok := e.Tags[k]; ok {
+					tags[k] = v
+				}
+			}
+			g = &Group{
+				Subsys:   e.Subsys,
+				Tags:     tags,
+				FirstT:   e.T,
+				Counters: map[string]int64{},
+				Values:   map[string][]float64{},
+			}
+			groups[key] = g
+		}
+		g.Events++
+		if e.T < g.FirstT {
+			g.FirstT = e.T
+		}
+		if e.T > g.LastT {
+			g.LastT = e.T
+		}
+		for k, v := range e.Counters {
+			g.Counters[k] += v
+		}
+		for k, v := range e.Values {
+			g.Values[k] = append(g.Values[k], v)
+		}
+	}
+	s := &Summary{By: append([]string(nil), by...)}
+	for _, k := range sortedKeys(groups) {
+		s.Groups = append(s.Groups, groups[k])
+	}
+	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted xs: the
+// value at rank ceil(p/100 * N), 1-based — the same convention the
+// replay engine's latency percentiles use (internal/replay), so stream
+// roll-ups and simulation output never disagree on a definition.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Render prints the summary: one block per group with counter totals,
+// per-virtual-second rates over the group's active window, and nearest-
+// rank percentile roll-ups for every value distribution.
+func (s *Summary) Render(w io.Writer) {
+	for _, g := range s.Groups {
+		window := time.Duration(g.LastT - g.FirstT)
+		fmt.Fprintf(w, "%s  (%d events, window %s)\n", g.Key(), g.Events, window)
+		for _, k := range sortedKeys(g.Counters) {
+			total := g.Counters[k]
+			if window > 0 {
+				fmt.Fprintf(w, "  %-24s %14d  %12.1f/s\n", k, total,
+					float64(total)/window.Seconds())
+			} else {
+				fmt.Fprintf(w, "  %-24s %14d\n", k, total)
+			}
+		}
+		for _, k := range sortedKeys(g.Values) {
+			xs := append([]float64(nil), g.Values[k]...)
+			sort.Float64s(xs)
+			var sum float64
+			for _, x := range xs {
+				sum += x
+			}
+			fmt.Fprintf(w, "  %-24s n=%-6d mean=%-12.4g p50=%-12.4g p90=%-12.4g p99=%.4g\n",
+				k, len(xs), sum/float64(len(xs)),
+				percentile(xs, 50), percentile(xs, 90), percentile(xs, 99))
+		}
+	}
+}
+
+// Window is one fixed-width virtual-time bucket of summed counter deltas.
+type Window struct {
+	// Start is the bucket's start in virtual ns.
+	Start int64
+	// Groups maps Group.Key -> counter sums within the bucket.
+	Groups map[string]map[string]int64
+}
+
+// Windows buckets sample events into fixed virtual-time windows of the
+// given width, grouped like Summarize. Buckets with no samples are
+// omitted; buckets are returned in time order.
+func Windows(events []Event, width time.Duration, by []string) []Window {
+	if width <= 0 {
+		width = time.Second
+	}
+	keys := append([]string(nil), by...)
+	sort.Strings(keys)
+	buckets := map[int64]*Window{}
+	var sb strings.Builder
+	for _, e := range events {
+		if e.Kind != KindSample {
+			continue
+		}
+		start := e.T / int64(width) * int64(width)
+		b, ok := buckets[start]
+		if !ok {
+			b = &Window{Start: start, Groups: map[string]map[string]int64{}}
+			buckets[start] = b
+		}
+		sb.Reset()
+		sb.WriteString(e.Subsys)
+		for _, k := range keys {
+			if v, ok := e.Tags[k]; ok {
+				sb.WriteByte(' ')
+				sb.WriteString(k)
+				sb.WriteByte('=')
+				sb.WriteString(v)
+			}
+		}
+		key := sb.String()
+		if b.Groups[key] == nil {
+			b.Groups[key] = map[string]int64{}
+		}
+		for k, v := range e.Counters {
+			b.Groups[key][k] += v
+		}
+	}
+	starts := make([]int64, 0, len(buckets))
+	for s := range buckets {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Window, 0, len(starts))
+	for _, s := range starts {
+		out = append(out, *buckets[s])
+	}
+	return out
+}
+
+// RenderWindows prints the bucketed counter-over-time view.
+func RenderWindows(w io.Writer, windows []Window, width time.Duration) {
+	for _, win := range windows {
+		fmt.Fprintf(w, "[%s .. %s)\n",
+			time.Duration(win.Start), time.Duration(win.Start)+width)
+		for _, key := range sortedKeys(win.Groups) {
+			counters := win.Groups[key]
+			parts := make([]string, 0, len(counters))
+			for _, k := range sortedKeys(counters) {
+				parts = append(parts, fmt.Sprintf("%s=%d", k, counters[k]))
+			}
+			fmt.Fprintf(w, "  %-40s %s\n", key, strings.Join(parts, " "))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"strings"
 	"time"
 
 	"repro/internal/ext3"
@@ -94,6 +95,20 @@ func (s *Server) MetadataMessageFraction() float64 {
 
 // ResetStats zeroes the per-procedure counters.
 func (s *Server) ResetStats() { s.ProcCounts = make(map[Proc]int64) }
+
+// Counters exports the nfsstat-style per-procedure counts for the metrics
+// event stream (metrics.SubsysNFS; see docs/METRICS.md): one
+// "proc_<name>" counter per procedure handled plus a "requests" total.
+func (s *Server) Counters() map[string]int64 {
+	out := make(map[string]int64, len(s.ProcCounts)+1)
+	var total int64
+	for p, n := range s.ProcCounts {
+		out["proc_"+strings.ToLower(p.String())] = n
+		total += n
+	}
+	out["requests"] = total
+	return out
+}
 
 // begin charges fixed request cost and counts the procedure.
 func (s *Server) begin(at time.Duration, p Proc, payload int) (time.Duration, error) {

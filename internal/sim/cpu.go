@@ -71,6 +71,12 @@ func (c *CPU) account(begin, service time.Duration) {
 // Busy reports cumulative busy time.
 func (c *CPU) Busy() time.Duration { return c.res.Busy() }
 
+// Counters exports accumulated busy time for the metrics event stream
+// (metrics.SubsysCPU; see docs/METRICS.md).
+func (c *CPU) Counters() map[string]int64 {
+	return map[string]int64{"busy_ns": int64(c.res.Busy())}
+}
+
 // BusyUntil reports when the CPU next goes idle.
 func (c *CPU) BusyUntil() time.Duration { return c.res.BusyUntil() }
 

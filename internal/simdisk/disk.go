@@ -71,6 +71,14 @@ func (d *Disk) Params() Params { return d.p }
 // Stats returns a snapshot of the disk's counters.
 func (d *Disk) Stats() metrics.DiskStats { return d.stats }
 
+// Counters exports the drive's I/O counters plus arm busy time for the
+// metrics event stream (metrics.SubsysDisk).
+func (d *Disk) Counters() map[string]int64 {
+	c := d.stats.Counters()
+	c["busy_ns"] = int64(d.Busy())
+	return c
+}
+
 // ResetStats zeroes the counters.
 func (d *Disk) ResetStats() { d.stats = metrics.DiskStats{} }
 

@@ -56,6 +56,14 @@ func (r *RAID5) Members() int { return len(r.disks) }
 // Stats returns array-level counters (one entry per logical request).
 func (r *RAID5) Stats() metrics.DiskStats { return r.stats }
 
+// Counters exports array-level I/O counters plus aggregate member busy
+// time for the metrics event stream (metrics.SubsysDisk).
+func (r *RAID5) Counters() map[string]int64 {
+	c := r.stats.Counters()
+	c["busy_ns"] = int64(r.Busy())
+	return c
+}
+
 // ResetStats zeroes array and member counters.
 func (r *RAID5) ResetStats() {
 	r.stats = metrics.DiskStats{}

@@ -92,6 +92,10 @@ func (n *Network) SetLossRate(p float64) { n.cfg.LossRate = p }
 // Stats returns a snapshot of the accumulated counters.
 func (n *Network) Stats() metrics.NetStats { return n.stats }
 
+// Counters exports the link counters for the metrics event stream
+// (metrics.SubsysNet; see docs/METRICS.md).
+func (n *Network) Counters() map[string]int64 { return n.stats.Counters() }
+
 // ResetStats zeroes the counters (busy horizons are preserved).
 func (n *Network) ResetStats() { n.stats = metrics.NetStats{} }
 

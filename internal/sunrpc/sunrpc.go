@@ -48,6 +48,25 @@ type Stats struct {
 	Failures    int64
 }
 
+// Add accumulates o into s (aggregating clients across remounts).
+func (s *Stats) Add(o Stats) {
+	s.Calls += o.Calls
+	s.Retransmits += o.Retransmits
+	s.Timeouts += o.Timeouts
+	s.Failures += o.Failures
+}
+
+// Counters exports the stats for the metrics event stream
+// (metrics.SubsysRPC; see docs/METRICS.md).
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"calls":       s.Calls,
+		"retransmits": s.Retransmits,
+		"timeouts":    s.Timeouts,
+		"failures":    s.Failures,
+	}
+}
+
 // Client is the RPC client endpoint.
 type Client struct {
 	Net       *simnet.Network

@@ -114,6 +114,19 @@ func (s *Stats) Add(o Stats) {
 	s.Failures += o.Failures
 }
 
+// Counters exports the stats for the metrics event stream
+// (metrics.SubsysTCP; see docs/METRICS.md).
+func (s Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		"segments":         s.Segments,
+		"acks":             s.Acks,
+		"retransmits":      s.Retransmits,
+		"fast_retransmits": s.FastRetransmits,
+		"timeouts":         s.Timeouts,
+		"failures":         s.Failures,
+	}
+}
+
 // inflightRef records one transfer's un-ACKed bytes: they occupy the send
 // window until the transfer's final cumulative ACK arrives.
 type inflightRef struct {

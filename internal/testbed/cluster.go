@@ -7,6 +7,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/ext3"
 	"repro/internal/iscsi"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -34,6 +35,10 @@ type ClusterConfig struct {
 	Transport   Transport
 	Conns       int
 	WindowBytes int
+	// Metrics, when non-nil, receives the cluster's telemetry: shared
+	// hardware and per-client protocol sources are registered at
+	// construction and EmitSample streams the deltas (see docs/METRICS.md).
+	Metrics *metrics.Recorder
 }
 
 // base converts to a single-client Config carrying the shared knobs.
@@ -72,6 +77,8 @@ type Cluster struct {
 	dev  *blockdev.Local   // NFS export device (nil for iSCSI)
 	luns []*blockdev.Local // iSCSI LUNs (nil for NFS)
 	srv  *nfsServer        // shared NFS server state (nil for iSCSI)
+
+	rec *metrics.Recorder
 }
 
 // NewCluster builds and mounts an N-client cluster.
@@ -129,8 +136,36 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		cl.Clients = append(cl.Clients, c)
 	}
+	cl.rec = cfg.Metrics.With(metrics.Tags{"transport": base.Transport.String()})
+	cl.instrument()
 	return cl, nil
 }
+
+// instrument registers the cluster's counter sources: shared hardware
+// (segment, array, server CPU), the shared NFS server (if any), then each
+// client's stack in client order.
+func (cl *Cluster) instrument() {
+	cl.rec.Register(metrics.SubsysNet, nil, cl.Net.Counters)
+	if cl.dev != nil {
+		cl.rec.Register(metrics.SubsysDisk, nil, cl.dev.Counters)
+	} else if len(cl.luns) > 0 {
+		cl.rec.Register(metrics.SubsysDisk, nil, cl.luns[0].Counters)
+	}
+	cl.rec.Register(metrics.SubsysCPU, metrics.Tags{"host": "server"}, cl.ServerCPU.Counters)
+	if len(cl.Clients) > 0 {
+		registerServerSources(cl.rec, cl.Clients[0].Stack)
+	}
+	for _, c := range cl.Clients {
+		registerClientSources(cl.rec, c)
+	}
+}
+
+// Metrics exposes the cluster's recorder (nil when un-instrumented).
+func (cl *Cluster) Metrics() *metrics.Recorder { return cl.rec }
+
+// EmitSample streams every registered counter's delta since the previous
+// sample, stamped at the cluster horizon.
+func (cl *Cluster) EmitSample() { cl.rec.Sample(cl.Horizon()) }
 
 // Run interleaves one step function per client (index-aligned with
 // Clients) in virtual-time order until every driver finishes. Each step
@@ -177,11 +212,14 @@ func (cl *Cluster) Drain() error {
 }
 
 // ColdCache empties every cache in the cluster: all clients drain and
-// remount, and the NFS server (if any) restarts exactly once.
+// remount, and the NFS server (if any) restarts exactly once. The
+// quiesced pre-reset counters are flushed into a sample before any
+// protocol client is rebuilt (see Testbed.ColdCache).
 func (cl *Cluster) ColdCache() error {
 	if err := cl.Drain(); err != nil {
 		return err
 	}
+	cl.EmitSample()
 	if cl.srv != nil {
 		// One server restart, then every client drops caches and
 		// re-mounts against the fresh export.

@@ -77,14 +77,17 @@ func (h hw) clientFSOpts() ext3.Options {
 // nfsServer is the shared server half of one or more NFS stacks: the
 // export device, the server ext3 and the protocol server, all charging one
 // server CPU. A single-client testbed owns one; a cluster shares one among
-// all its clients.
+// all its clients. fsBase carries the counters of export filesystems a
+// restart has retired, keeping the cumulative counters monotonic for
+// telemetry.
 type nfsServer struct {
 	dev *blockdev.Local
 	cpu *sim.CPU
 	cfg Config
 
-	fs  *ext3.FS
-	srv *nfs.Server
+	fs     *ext3.FS
+	srv    *nfs.Server
+	fsBase map[string]int64
 }
 
 // serverFSOpts returns the ext3 options for the server's local mount.
@@ -103,6 +106,9 @@ func (s *nfsServer) serverFSOpts() ext3.Options {
 
 // mount brings the export up (first boot or after restart).
 func (s *nfsServer) mount(now time.Duration) (time.Duration, error) {
+	if s.fs != nil {
+		s.fsBase = addCounterMap(s.fsBase, s.fs.Counters())
+	}
 	fs, done, err := ext3.Mount(now, s.dev, s.serverFSOpts())
 	if err != nil {
 		return now, fmt.Errorf("testbed: server mount: %w", err)
@@ -140,24 +146,29 @@ func (s *nfsServer) sync(now time.Duration) (time.Duration, error) {
 }
 
 // nfsStack is one client's NFS mount of a (possibly shared) server export.
+// rpcBase/tcpBase carry the counters of protocol clients this stack has
+// already retired (remounts rebuild them), keeping the stack's cumulative
+// counters monotonic for the telemetry stream.
 type nfsStack struct {
-	kind   Kind
-	hw     hw
-	srv    *nfsServer
-	rpc    *sunrpc.Client
-	conn   *tcpsim.Conn // non-nil under TransportTCP
-	client *nfs.Client
+	kind    Kind
+	hw      hw
+	srv     *nfsServer
+	rpc     *sunrpc.Client
+	conn    *tcpsim.Conn // non-nil under TransportTCP
+	client  *nfs.Client
+	rpcBase sunrpc.Stats
+	tcpBase tcpsim.Stats
 }
 
 func (st *nfsStack) Kind() Kind         { return st.kind }
 func (st *nfsStack) FS() vfs.FileSystem { return st.client }
 func (st *nfsStack) Counters() StackCounters {
-	if st.rpc == nil {
-		return StackCounters{}
+	c := StackCounters{RPC: st.rpcBase, TCP: st.tcpBase}
+	if st.rpc != nil {
+		c.RPC.Add(st.rpc.Stats())
 	}
-	c := StackCounters{RPC: st.rpc.Stats()}
 	if st.conn != nil {
-		c.TCP = st.conn.Stats()
+		c.TCP.Add(st.conn.Stats())
 	}
 	return c
 }
@@ -187,9 +198,15 @@ func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
 	case TransportTCP:
 		transport = sunrpc.TCP
 	}
+	if st.rpc != nil {
+		st.rpcBase.Add(st.rpc.Stats())
+	}
 	st.rpc = sunrpc.NewClient(st.hw.net, transport)
 	if st.hw.cfg.Transport == TransportTCP {
 		if st.conn == nil || !st.conn.Established() {
+			if st.conn != nil {
+				st.tcpBase.Add(st.conn.Stats())
+			}
 			st.conn = tcpsim.NewConn(st.hw.net, st.hw.cfg.tcpConfig())
 			done, err := st.conn.Connect(now)
 			if err != nil {
@@ -245,24 +262,67 @@ type iscsiEndpoint interface {
 
 // iscsiStack is one client's iSCSI session: an initiator (or MC/S session
 // under TransportTCP) logged into a target LUN, with the client's own ext3
-// mounted on the remote volume.
+// mounted on the remote volume. The *Base fields carry the counters of
+// endpoints and filesystems this stack has already retired (remounts
+// rebuild them), keeping the cumulative counters monotonic for telemetry.
 type iscsiStack struct {
 	hw       hw
 	target   *iscsi.Target
 	endpoint iscsiEndpoint
 	fs       *ext3.FS
+	epBase   map[string]int64
+	fsBase   map[string]int64
+	tcpBase  tcpsim.Stats
 }
 
 func (st *iscsiStack) Kind() Kind         { return ISCSI }
 func (st *iscsiStack) FS() vfs.FileSystem { return st.fs }
 func (st *iscsiStack) Counters() StackCounters {
+	c := StackCounters{TCP: st.tcpBase}
 	if s, ok := st.endpoint.(*iscsi.Session); ok {
-		return StackCounters{TCP: s.Stats()}
+		c.TCP.Add(s.Stats())
 	}
-	return StackCounters{}
+	return c
+}
+
+// endpointCounters exports the cumulative iSCSI command counters across
+// every endpoint this stack has had.
+func (st *iscsiStack) endpointCounters() map[string]int64 {
+	cur := map[string]int64{}
+	switch ep := st.endpoint.(type) {
+	case *iscsi.Initiator:
+		cur = ep.Counters()
+	case *iscsi.Session:
+		cur = ep.Counters()
+	}
+	for k, v := range st.epBase {
+		cur[k] += v
+	}
+	return cur
+}
+
+// fsCounters exports the cumulative client-ext3 counters across remounts.
+func (st *iscsiStack) fsCounters() map[string]int64 {
+	cur := map[string]int64{}
+	if st.fs != nil {
+		cur = st.fs.Counters()
+	}
+	for k, v := range st.fsBase {
+		cur[k] += v
+	}
+	return cur
 }
 
 func (st *iscsiStack) Mount(now time.Duration) (time.Duration, error) {
+	if st.endpoint != nil {
+		switch ep := st.endpoint.(type) {
+		case *iscsi.Initiator:
+			st.epBase = addCounterMap(st.epBase, ep.Counters())
+		case *iscsi.Session:
+			st.epBase = addCounterMap(st.epBase, ep.Counters())
+			st.tcpBase.Add(ep.Stats())
+		}
+	}
 	if st.hw.cfg.Transport == TransportTCP {
 		st.endpoint = iscsi.NewSession(st.hw.net, st.target, st.hw.cpu,
 			st.hw.cfg.Conns, st.hw.cfg.tcpConfig())
@@ -272,6 +332,9 @@ func (st *iscsiStack) Mount(now time.Duration) (time.Duration, error) {
 	done, err := st.endpoint.Login(now)
 	if err != nil {
 		return now, fmt.Errorf("testbed: iscsi login: %w", err)
+	}
+	if st.fs != nil {
+		st.fsBase = addCounterMap(st.fsBase, st.fs.Counters())
 	}
 	fs, done, err := ext3.Mount(done, st.endpoint, st.hw.clientFSOpts())
 	if err != nil {
@@ -305,6 +368,7 @@ func (st *iscsiStack) ColdCache(now time.Duration) (time.Duration, error) {
 		}
 		now = done
 	}
+	st.fsBase = addCounterMap(st.fsBase, st.fs.Counters())
 	fs, done, err := ext3.Mount(now, st.endpoint, st.hw.clientFSOpts())
 	if err != nil {
 		return now, err

@@ -1,0 +1,90 @@
+package testbed
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Telemetry wiring: which counter source each protocol stack contributes
+// to the unified metrics event stream (docs/METRICS.md). Sources are
+// registered once per client and read through the stack at sample time;
+// stacks keep their counters monotonic across cold-cache rebuilds by
+// folding retired endpoints into *Base accumulators, and ColdCache
+// additionally flushes a sample before any rebuild, so stream totals are
+// exact. The recorder's reset rule remains as a backstop for sources
+// reset outside those paths.
+
+// clientTag returns the client tag set for client id.
+func clientTag(id int) metrics.Tags {
+	return metrics.Tags{"client": strconv.Itoa(id)}
+}
+
+// addCounterMap accumulates src into dst, allocating dst if needed.
+func addCounterMap(dst, src map[string]int64) map[string]int64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+// registerClientSources registers the per-client sources: the client CPU
+// plus the mounted stack's protocol counters (SunRPC and the NFS client's
+// TCP connection, or the iSCSI endpoint, its TCP connections and the
+// client-side ext3).
+func registerClientSources(rec *metrics.Recorder, c *Client) {
+	if rec == nil {
+		return
+	}
+	tags := clientTag(c.ID)
+	host := metrics.Tags{"client": tags["client"], "host": "client"}
+	rec.Register(metrics.SubsysCPU, host, c.CPU.Counters)
+	switch st := c.Stack.(type) {
+	case *nfsStack:
+		rec.Register(metrics.SubsysRPC, tags, func() map[string]int64 {
+			return st.Counters().RPC.Counters()
+		})
+		rec.Register(metrics.SubsysTCP, tags, func() map[string]int64 {
+			return st.Counters().TCP.Counters()
+		})
+	case *iscsiStack:
+		rec.Register(metrics.SubsysISCSI, tags, st.endpointCounters)
+		rec.Register(metrics.SubsysTCP, tags, func() map[string]int64 {
+			return st.Counters().TCP.Counters()
+		})
+		rec.Register(metrics.SubsysExt3, host, st.fsCounters)
+	}
+}
+
+// registerServerSources registers the server-side protocol sources an NFS
+// stack shares: the nfsd per-procedure counts and the export's ext3
+// caches. iSCSI has no server-side filesystem — its target serves raw
+// blocks — so it contributes nothing here.
+func registerServerSources(rec *metrics.Recorder, st Stack) {
+	ns, ok := st.(*nfsStack)
+	if rec == nil || !ok {
+		return
+	}
+	rec.Register(metrics.SubsysNFS, nil, func() map[string]int64 {
+		if ns.srv.srv == nil {
+			return nil
+		}
+		return ns.srv.srv.Counters()
+	})
+	rec.Register(metrics.SubsysExt3, metrics.Tags{"host": "server"}, func() map[string]int64 {
+		cur := map[string]int64{}
+		if ns.srv.fs != nil {
+			cur = ns.srv.fs.Counters()
+		}
+		for k, v := range ns.srv.fsBase {
+			cur[k] += v
+		}
+		return cur
+	})
+}

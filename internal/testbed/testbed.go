@@ -40,6 +40,7 @@ const (
 	ISCSI
 )
 
+// String names the stack the way the paper's tables do.
 func (k Kind) String() string {
 	switch k {
 	case NFSv2:
@@ -50,6 +51,21 @@ func (k Kind) String() string {
 		return "NFS v4"
 	default:
 		return "iSCSI"
+	}
+}
+
+// Tag returns the kind's metrics tag value ("nfsv2".."nfsv4", "iscsi"):
+// the stack vocabulary documented in docs/METRICS.md.
+func (k Kind) Tag() string {
+	switch k {
+	case NFSv2:
+		return "nfsv2"
+	case NFSv3:
+		return "nfsv3"
+	case NFSv4:
+		return "nfsv4"
+	default:
+		return "iscsi"
 	}
 }
 
@@ -74,6 +90,8 @@ const (
 	TransportTCP
 )
 
+// String returns the transport's metrics tag value ("fluid", "udp",
+// "tcp"), the transport vocabulary documented in docs/METRICS.md.
 func (t Transport) String() string {
 	switch t {
 	case TransportUDP:
@@ -115,6 +133,11 @@ type Config struct {
 	// WindowBytes caps each TCP connection's window — the rmem/wmem
 	// tuning knob from Section 3.1 (default 64 KB).
 	WindowBytes int
+	// Metrics, when non-nil, receives the testbed's telemetry: every
+	// layer's counter source is registered on it at construction and
+	// EmitSample streams the deltas (see docs/METRICS.md). Events are
+	// additionally tagged with the wire transport.
+	Metrics *metrics.Recorder
 }
 
 func (c *Config) fill() {
@@ -199,6 +222,8 @@ type Testbed struct {
 	NFSServer *nfs.Server
 	ServerFS  *ext3.FS // server-side ext3 (NFS only)
 	RPC       *sunrpc.Client
+
+	rec *metrics.Recorder
 }
 
 // New builds and mounts a testbed.
@@ -239,8 +264,32 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb.syncCompat()
+	tb.rec = cfg.Metrics.With(metrics.Tags{"transport": cfg.Transport.String()})
+	tb.instrument()
 	return tb, nil
 }
+
+// instrument registers every counter source on the testbed's recorder:
+// shared hardware (link, array, the two processors) plus the client's
+// protocol stack. Closures read through the stack at sample time, so
+// sources survive the identity changes ColdCache causes; the recorder's
+// reset rule absorbs rebuilt (re-zeroed) protocol clients.
+func (tb *Testbed) instrument() {
+	tb.rec.Register(metrics.SubsysNet, nil, tb.Net.Counters)
+	tb.rec.Register(metrics.SubsysDisk, nil, tb.dev.Counters)
+	tb.rec.Register(metrics.SubsysCPU, metrics.Tags{"host": "server"}, tb.ServerCPU.Counters)
+	registerClientSources(tb.rec, tb.Client)
+	registerServerSources(tb.rec, tb.Client.Stack)
+}
+
+// Metrics exposes the testbed's recorder (nil when un-instrumented), so
+// harnesses can emit marks and result points into the same stream.
+func (tb *Testbed) Metrics() *metrics.Recorder { return tb.rec }
+
+// EmitSample streams every registered counter's delta since the previous
+// sample, stamped at the client clock — one closed measurement window in
+// the telemetry stream.
+func (tb *Testbed) EmitSample() { tb.rec.Sample(tb.Clock.Now()) }
 
 // syncCompat refreshes the exported protocol-internal handles from the
 // stack (their identities can change across ColdCache).
@@ -275,8 +324,14 @@ func (tb *Testbed) Drain() error { return tb.Client.Drain() }
 
 // ColdCache empties every cache: the client filesystem is unmounted and
 // remounted and the server restarted, the protocol the paper uses before
-// each cold-cache measurement (Section 4.1).
+// each cold-cache measurement (Section 4.1). On an instrumented testbed
+// the quiesced pre-reset counters are flushed into a sample first, so the
+// rebuild (which re-zeroes protocol clients) can never lose deltas.
 func (tb *Testbed) ColdCache() error {
+	if err := tb.Drain(); err != nil {
+		return err
+	}
+	tb.EmitSample()
 	if err := tb.Client.ColdCache(); err != nil {
 		return err
 	}

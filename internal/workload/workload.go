@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/testbed"
 )
 
@@ -35,8 +36,15 @@ func (r Result) String() string {
 		r.ServerCPU*100, r.ClientCPU*100)
 }
 
-// measure wraps a run with snapshots and CPU percentiles.
+// measure wraps a run with snapshots and CPU percentiles. On an
+// instrumented testbed it also closes the telemetry window: setup-phase
+// counter deltas are flushed before the begin mark, the run's deltas are
+// sampled after the drain, and the headline result lands as a point event
+// (the shared EmitEvents path every Run* harness inherits).
 func measure(tb *testbed.Testbed, name string, run func() error) (Result, error) {
+	wl := metrics.Tags{"workload": name}
+	tb.EmitSample()
+	tb.Metrics().Mark(tb.Clock.Now(), metrics.Tags{"phase": "begin", "workload": name})
 	before := tb.Snap()
 	if err := run(); err != nil {
 		return Result{}, fmt.Errorf("%s on %v: %w", name, tb.Kind, err)
@@ -49,7 +57,7 @@ func measure(tb *testbed.Testbed, name string, run func() error) (Result, error)
 	if elapsed <= 0 {
 		elapsed = time.Millisecond
 	}
-	return Result{
+	res := Result{
 		Name:      name,
 		Stack:     tb.Kind.String(),
 		Elapsed:   elapsed,
@@ -57,5 +65,15 @@ func measure(tb *testbed.Testbed, name string, run func() error) (Result, error)
 		Bytes:     d.Bytes,
 		ServerCPU: tb.ServerCPU.UtilizationPercentile(0.95, tb.Clock.Now()),
 		ClientCPU: tb.ClientCPU.UtilizationPercentile(0.95, tb.Clock.Now()),
-	}, nil
+	}
+	tb.EmitSample()
+	tb.Metrics().Point(tb.Clock.Now(), metrics.SubsysRun, wl, map[string]float64{
+		"elapsed_ns": float64(res.Elapsed),
+		"messages":   float64(res.Messages),
+		"bytes":      float64(res.Bytes),
+		"server_cpu": res.ServerCPU,
+		"client_cpu": res.ClientCPU,
+	})
+	tb.Metrics().Mark(tb.Clock.Now(), metrics.Tags{"phase": "end", "workload": name})
+	return res, nil
 }
