@@ -18,9 +18,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/testbed"
 	"repro/internal/trace"
 )
 
@@ -42,6 +42,16 @@ func main() {
 	if *dump != "" {
 		dumpProfile(*profile, *dump)
 		return
+	}
+
+	if err := cliutil.Int(*clients, "clients", 1, cliutil.MaxClients); err != nil {
+		fatal(err.Error())
+	}
+	if err := cliutil.Int(*conns, "conns", 1, cliutil.MaxConns); err != nil {
+		fatal(err.Error())
+	}
+	if *ops < 0 {
+		fatal("bad -ops value (must be >= 0; 0 replays everything)")
 	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
@@ -79,19 +89,11 @@ func main() {
 	} else {
 		cfg.Profiles = parseProfiles(*profile)
 	}
-	cfg.Stacks = parseStacks(*stacks)
-	for _, tr := range strings.Split(*transports, ",") {
-		switch strings.ToLower(strings.TrimSpace(tr)) {
-		case "fluid":
-			cfg.Transports = append(cfg.Transports, testbed.TransportFluid)
-		case "udp":
-			cfg.Transports = append(cfg.Transports, testbed.TransportUDP)
-		case "tcp":
-			cfg.Transports = append(cfg.Transports, testbed.TransportTCP)
-		case "":
-		default:
-			fatal("unknown transport " + tr)
-		}
+	if cfg.Stacks, err = cliutil.Stacks(*stacks); err != nil {
+		fatal(err.Error())
+	}
+	if cfg.Transports, err = cliutil.Transports(*transports); err != nil {
+		fatal(err.Error())
 	}
 
 	cells, err := core.RunReplay(cfg)
@@ -120,33 +122,6 @@ func parseProfiles(p string) []string {
 		fatal("unknown profile " + p + " (eecs, campus, both)")
 		return nil
 	}
-}
-
-// parseStacks expands the -stacks flag.
-func parseStacks(s string) []core.Stack {
-	if strings.ToLower(strings.TrimSpace(s)) == "all" {
-		return testbed.AllKinds
-	}
-	var out []core.Stack
-	for _, name := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(name)) {
-		case "nfsv2":
-			out = append(out, core.NFSv2)
-		case "nfsv3":
-			out = append(out, core.NFSv3)
-		case "nfsv4":
-			out = append(out, core.NFSv4)
-		case "iscsi":
-			out = append(out, core.ISCSI)
-		case "":
-		default:
-			fatal("unknown stack " + name)
-		}
-	}
-	if len(out) == 0 {
-		fatal("-stacks needs at least one stack")
-	}
-	return out
 }
 
 // dumpProfile exports a built-in profile's synthesized trace as JSONL.

@@ -9,9 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -27,28 +27,15 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	flag.Parse()
 
-	var counts []int
-	for _, s := range strings.Split(*clients, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "scale: bad client count %q\n", s)
-			os.Exit(1)
-		}
-		counts = append(counts, n)
+	counts, err := cliutil.Ints(*clients, "clients", 1, cliutil.MaxClients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
 	}
-	var wls []string
-	for _, s := range strings.Split(*workloads, ",") {
-		wl := strings.TrimSpace(s)
-		known := false
-		for _, k := range core.ScaleWorkloads {
-			known = known || wl == k
-		}
-		if !known {
-			fmt.Fprintf(os.Stderr, "scale: unknown workload %q (have %s)\n",
-				wl, strings.Join(core.ScaleWorkloads, ", "))
-			os.Exit(1)
-		}
-		wls = append(wls, wl)
+	wls, err := cliutil.Workloads(*workloads, core.ScaleWorkloads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale:", err)
+		os.Exit(1)
 	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)

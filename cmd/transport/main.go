@@ -12,10 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -44,41 +44,33 @@ func main() {
 		Seed:      *seed,
 		Metrics:   metrics.NewRecorder(sink, metrics.Tags{"cmd": "transport"}),
 	}
-	for _, ms := range floats(*rtts, "rtts") {
+	rttMs, err := cliutil.Floats(*rtts, "rtts", 0, 10000)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for _, ms := range rttMs {
 		cfg.RTTs = append(cfg.RTTs, time.Duration(ms*float64(time.Millisecond)))
 	}
-	for _, p := range floats(*losses, "loss") {
-		if p > 50 {
-			fatal(fmt.Sprintf("-loss %g out of range [0, 50]", p))
-		}
-		cfg.LossRates = append(cfg.LossRates, p/100)
+	if cfg.LossRates, err = cliutil.LossPercents(*losses, "loss"); err != nil {
+		fatal(err.Error())
 	}
-	for _, kb := range floats(*windows, "windows") {
+	windowKB, err := cliutil.Floats(*windows, "windows", 1, 1<<20)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for _, kb := range windowKB {
 		cfg.Windows = append(cfg.Windows, int(kb)<<10)
 	}
-	for _, n := range floats(*conns, "conns") {
-		if n < 1 {
-			fatal("conns must be >= 1")
-		}
-		cfg.Conns = append(cfg.Conns, int(n))
+	connCounts, err := cliutil.Ints(*conns, "conns", 1, cliutil.MaxConns)
+	if err != nil {
+		fatal(err.Error())
 	}
-	for _, s := range strings.Split(*stacks, ",") {
-		switch strings.ToLower(strings.TrimSpace(s)) {
-		case "nfsv2":
-			cfg.Stacks = append(cfg.Stacks, core.NFSv2)
-		case "nfsv3":
-			cfg.Stacks = append(cfg.Stacks, core.NFSv3)
-		case "nfsv4":
-			cfg.Stacks = append(cfg.Stacks, core.NFSv4)
-		case "iscsi":
-			cfg.Stacks = append(cfg.Stacks, core.ISCSI)
-		case "":
-		default:
-			fatal("unknown stack " + s)
-		}
+	cfg.Conns = connCounts
+	if cfg.Stacks, err = cliutil.Stacks(*stacks); err != nil {
+		fatal(err.Error())
 	}
-	if *workloads != "" {
-		cfg.Workloads = strings.Split(*workloads, ",")
+	if cfg.Workloads, err = cliutil.Workloads(*workloads, core.TransportWorkloads); err != nil {
+		fatal(err.Error())
 	}
 
 	cells, err := core.RunTransport(cfg)
@@ -92,26 +84,6 @@ func main() {
 	if err != nil {
 		fatal("metrics: " + err.Error())
 	}
-}
-
-// floats parses a comma-separated list of non-negative numbers.
-func floats(list, name string) []float64 {
-	var out []float64
-	for _, f := range strings.Split(list, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(f, 64)
-		if err != nil || v < 0 {
-			fatal("bad -" + name + " value " + f)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		fatal("-" + name + " needs at least one value")
-	}
-	return out
 }
 
 func fatal(msg string) {

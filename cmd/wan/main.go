@@ -1,0 +1,128 @@
+// Command wan runs the congestion-coupled cluster sweep: every client's
+// traffic multiplexes through one capacity-limited bottleneck link
+// (internal/netqueue) and the sweep crosses {bottleneck capacity x queue
+// discipline x per-client RTT/loss mix} over client counts on the
+// selected stacks. It is the physically-coupled counterpart of
+// cmd/scale: aggregate throughput plateaus at the pipe, per-client
+// latency grows with the standing queue, and WAN stragglers contend for
+// the same buffer as their LAN peers. Configurations harsh enough to
+// abort transport connections render as "collapse" cells rather than
+// failing the sweep.
+//
+//	go run ./cmd/wan -clients 1,2,4 -capacities 12 -mixes lan,straggler
+//	go run ./cmd/wan -qdisc drr -transports tcp -metrics wan.jsonl
+//
+// Identical seeds give byte-identical output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netqueue"
+)
+
+func main() {
+	clients := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
+	stacks := flag.String("stacks", "all", "stacks to sweep (all or nfsv2,nfsv3,nfsv4,iscsi)")
+	workloads := flag.String("workloads", "seq-write",
+		"workloads ("+strings.Join(core.WANWorkloads, ",")+")")
+	transports := flag.String("transports", "tcp", "wire models to sweep (fluid,udp,tcp)")
+	capacities := flag.String("capacities", "117,12", "bottleneck capacities in MB/s (comma separated)")
+	qdisc := flag.String("qdisc", "droptail,drr", "queue disciplines (droptail,drr)")
+	mixes := flag.String("mixes", "lan,straggler",
+		"per-client RTT/loss mixes ("+strings.Join(core.WANMixes, ",")+")")
+	queueKB := flag.Int("queue", 256, "bottleneck buffer per direction in KB")
+	conns := flag.Int("conns", 1, "iSCSI MC/S connection count under TCP")
+	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
+	sizeKB := flag.Int64("size", 1024, "per-client file size in KB")
+	seed := flag.Int64("seed", 0, "simulation seed")
+	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	flag.Parse()
+
+	cfg := core.WANConfig{
+		QueueBytes:  *queueKB << 10,
+		Conns:       *conns,
+		WindowBytes: *window << 10,
+		FileSize:    *sizeKB << 10,
+		Seed:        *seed,
+	}
+	var err error
+	if cfg.Counts, err = cliutil.Ints(*clients, "clients", 1, cliutil.MaxClients); err != nil {
+		fatal(err.Error())
+	}
+	if cfg.Stacks, err = cliutil.Stacks(*stacks); err != nil {
+		fatal(err.Error())
+	}
+	if cfg.Workloads, err = cliutil.Workloads(*workloads, core.WANWorkloads); err != nil {
+		fatal(err.Error())
+	}
+	if cfg.Transports, err = cliutil.Transports(*transports); err != nil {
+		fatal(err.Error())
+	}
+	caps, err := cliutil.Floats(*capacities, "capacities", 0.125, 100000)
+	if err != nil {
+		fatal(err.Error())
+	}
+	for _, mb := range caps {
+		cfg.Capacities = append(cfg.Capacities, int64(mb*1e6))
+	}
+	for _, q := range strings.Split(*qdisc, ",") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			continue
+		}
+		d, err := netqueue.ParseDiscipline(q)
+		if err != nil {
+			fatal(err.Error())
+		}
+		cfg.Disciplines = append(cfg.Disciplines, d)
+	}
+	if err := cliutil.Int(*conns, "conns", 1, cliutil.MaxConns); err != nil {
+		fatal(err.Error())
+	}
+	if err := cliutil.Int(*queueKB, "queue", 1, 1<<20); err != nil {
+		fatal(err.Error())
+	}
+	if err := cliutil.Int(*window, "window", 1, 1<<20); err != nil {
+		fatal(err.Error())
+	}
+	if err := cliutil.Int(int(*sizeKB), "size", 1, 1<<20); err != nil {
+		fatal(err.Error())
+	}
+	for _, m := range strings.Split(*mixes, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			if _, err := core.MixClients(m, 1); err != nil {
+				fatal(err.Error())
+			}
+			cfg.Mixes = append(cfg.Mixes, m)
+		}
+	}
+
+	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
+	if err != nil {
+		fatal(err.Error())
+	}
+	cfg.Metrics = metrics.NewRecorder(sink, metrics.Tags{"cmd": "wan"})
+	cells, err := core.RunWAN(cfg)
+	if err != nil {
+		fatal(err.Error())
+	}
+	core.RenderWAN(os.Stdout, cells)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
+	}
+	if err != nil {
+		fatal("metrics: " + err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "wan:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Package cliutil holds the flag parsing and validation the cmds share:
+// comma-separated axis lists (client counts, connection counts, loss
+// rates, RTTs) with uniform range checks, and the stack/transport name
+// vocabularies. Before it existed each cmd rejected out-of-range values
+// differently (or not at all); harnesses now fail fast with one message
+// shape: `bad -<flag> value "x" (...)`.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/testbed"
+)
+
+// Shared axis bounds: one client per simulated machine up to a rack's
+// worth, MC/S connection counts as Kumar et al. swept them, and loss
+// rates beyond 50% model a broken path, not a lossy one.
+const (
+	MaxClients     = 128
+	MaxConns       = 16
+	MaxLossPercent = 50
+)
+
+// Ints parses a comma-separated integer list, requiring every value in
+// [min, max] and at least one value.
+func Ints(list, flag string, min, max int) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s value %q (not an integer)", flag, s)
+		}
+		if err := Int(n, flag, min, max); err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s needs at least one value", flag)
+	}
+	return out, nil
+}
+
+// Int validates a single integer flag value against [min, max].
+func Int(n int, flag string, min, max int) error {
+	if n < min || n > max {
+		return fmt.Errorf("bad -%s value %d (range %d..%d)", flag, n, min, max)
+	}
+	return nil
+}
+
+// Floats parses a comma-separated float list, requiring every value in
+// [min, max] and at least one value.
+func Floats(list, flag string, min, max float64) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s value %q (not a number)", flag, s)
+		}
+		if v < min || v > max {
+			return nil, fmt.Errorf("bad -%s value %g (range %g..%g)", flag, v, min, max)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s needs at least one value", flag)
+	}
+	return out, nil
+}
+
+// LossPercents parses a comma-separated list of loss rates given in
+// percent (the cmds' convention), bounds them to [0, MaxLossPercent],
+// and returns fractions.
+func LossPercents(list, flag string) ([]float64, error) {
+	ps, err := Floats(list, flag, 0, MaxLossPercent)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p / 100
+	}
+	return out, nil
+}
+
+// Stacks parses a comma-separated stack list ("all" for every stack;
+// names are the metrics tag vocabulary nfsv2..nfsv4, iscsi).
+func Stacks(list string) ([]testbed.Kind, error) {
+	if strings.ToLower(strings.TrimSpace(list)) == "all" {
+		return append([]testbed.Kind(nil), testbed.AllKinds...), nil
+	}
+	var out []testbed.Kind
+	for _, s := range strings.Split(list, ",") {
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "nfsv2":
+			out = append(out, testbed.NFSv2)
+		case "nfsv3":
+			out = append(out, testbed.NFSv3)
+		case "nfsv4":
+			out = append(out, testbed.NFSv4)
+		case "iscsi":
+			out = append(out, testbed.ISCSI)
+		case "":
+		default:
+			return nil, fmt.Errorf("bad -stacks value %q (all, nfsv2, nfsv3, nfsv4, iscsi)", strings.TrimSpace(s))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-stacks needs at least one stack")
+	}
+	return out, nil
+}
+
+// Transports parses a comma-separated wire-model list (fluid, udp, tcp).
+func Transports(list string) ([]testbed.Transport, error) {
+	var out []testbed.Transport
+	for _, s := range strings.Split(list, ",") {
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "fluid":
+			out = append(out, testbed.TransportFluid)
+		case "udp":
+			out = append(out, testbed.TransportUDP)
+		case "tcp":
+			out = append(out, testbed.TransportTCP)
+		case "":
+		default:
+			return nil, fmt.Errorf("bad -transports value %q (fluid, udp, tcp)", strings.TrimSpace(s))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-transports needs at least one wire model")
+	}
+	return out, nil
+}
+
+// Workloads validates a comma-separated workload list against the
+// harness's known set.
+func Workloads(list string, known []string) ([]string, error) {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		found := false
+		for _, k := range known {
+			found = found || s == k
+		}
+		if !found {
+			return nil, fmt.Errorf("bad -workloads value %q (have %s)", s, strings.Join(known, ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workloads needs at least one value")
+	}
+	return out, nil
+}

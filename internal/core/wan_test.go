@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/netqueue"
+	"repro/internal/testbed"
+)
+
+// wanTestConfig keeps the sweep small enough for unit tests: one tight
+// pipe, drop-tail, two counts.
+func wanTestConfig() WANConfig {
+	return WANConfig{
+		Counts:      []int{1, 4},
+		Stacks:      []Stack{NFSv3, ISCSI},
+		Workloads:   []string{"seq-write"},
+		Transports:  []testbed.Transport{testbed.TransportFluid},
+		Capacities:  []int64{4 << 20},
+		Disciplines: []netqueue.Discipline{netqueue.DropTail},
+		Mixes:       []string{"straggler"},
+		FileSize:    256 << 10,
+		Seed:        5,
+	}
+}
+
+// TestWANShape checks the congestion-coupling acceptance properties on a
+// small sweep: on a uniform LAN mix, latency grows with client count on
+// the shared pipe; on the straggler mix, the straggler's mean latency
+// exceeds the cluster mean; aggregate throughput never exceeds the pipe.
+func TestWANShape(t *testing.T) {
+	cfg := wanTestConfig()
+	cfg.Mixes = []string{"lan"}
+	cells, err := RunWAN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStack := map[Stack][]WANCell{}
+	for _, c := range cells {
+		byStack[c.Stack] = append(byStack[c.Stack], c)
+	}
+	for stack, cs := range byStack {
+		if len(cs) != 2 {
+			t.Fatalf("%v: %d cells, want 2", stack, len(cs))
+		}
+		one, four := cs[0], cs[1]
+		if four.PerClientLatency <= one.PerClientLatency {
+			t.Errorf("%v: latency did not grow with clients on a shared pipe: %v -> %v",
+				stack, one.PerClientLatency, four.PerClientLatency)
+		}
+		if four.HOLWait <= one.HOLWait {
+			t.Errorf("%v: head-of-line wait did not grow with clients: %v -> %v",
+				stack, one.HOLWait, four.HOLWait)
+		}
+		for _, c := range cs {
+			// Payload throughput can never beat the wire (headers make it
+			// strictly less).
+			if c.AggBytesPerSec > float64(c.Capacity) {
+				t.Errorf("%v/%d: %f B/s exceeds the %d B/s pipe",
+					stack, c.Clients, c.AggBytesPerSec, c.Capacity)
+			}
+		}
+	}
+
+	// Straggler attribution: one 40 ms / 1% loss client among LAN peers
+	// drags the per-cell maximum above the mean.
+	scfg := wanTestConfig()
+	scfg.Counts = []int{4}
+	scells, err := RunWAN(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range scells {
+		if c.StragglerLatency <= c.PerClientLatency {
+			t.Errorf("%v: straggler mean %v not above cluster mean %v",
+				c.Stack, c.StragglerLatency, c.PerClientLatency)
+		}
+	}
+}
+
+// TestWANDeterministicAndInstrumented renders a sweep twice (byte-equal)
+// and checks the telemetry stream: experiment=wan cells, shared-link net
+// counters, and per-client rtt/loss tags for straggler attribution.
+func TestWANDeterministicAndInstrumented(t *testing.T) {
+	render := func(sink *metrics.Sink) []byte {
+		cfg := wanTestConfig()
+		cfg.Counts = []int{2}
+		cfg.Stacks = []Stack{ISCSI}
+		cfg.Metrics = metrics.NewRecorder(sink, metrics.Tags{"cmd": "wan"})
+		cells, err := RunWAN(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		RenderWAN(&buf, cells)
+		return buf.Bytes()
+	}
+	var events bytes.Buffer
+	a := render(metrics.NewSink(&events))
+	if len(a) == 0 {
+		t.Fatal("empty render")
+	}
+	if !bytes.Equal(a, render(nil)) {
+		t.Fatal("WAN sweep not deterministic")
+	}
+
+	evs, err := metrics.ReadEvents(bytes.NewReader(events.Bytes()))
+	if err != nil {
+		t.Fatalf("stream does not validate: %v", err)
+	}
+	var sawWAN, sawLink, sawStragglerTag, sawResult bool
+	for _, e := range evs {
+		if e.Tags["experiment"] == "wan" {
+			sawWAN = true
+		}
+		if e.Subsys == metrics.SubsysNet && e.Tags["link"] == "shared" {
+			sawLink = true
+			if e.Kind == metrics.KindSample && e.Counters["up_bytes"] == 0 && e.Counters["down_bytes"] == 0 {
+				t.Errorf("shared-link sample moved no bytes: %+v", e)
+			}
+		}
+		if e.Tags["client"] == "1" && e.Tags["rtt"] == "40ms" && e.Tags["loss"] == "0.01" {
+			sawStragglerTag = true
+		}
+		if e.Subsys == metrics.SubsysRun && e.Kind == metrics.KindPoint &&
+			e.Values["agg_bytes_per_sec"] > 0 {
+			sawResult = true
+		}
+	}
+	if !sawWAN || !sawLink || !sawStragglerTag || !sawResult {
+		t.Fatalf("stream missing wan=%v link=%v stragglerTag=%v result=%v",
+			sawWAN, sawLink, sawStragglerTag, sawResult)
+	}
+}
+
+// TestWANCollapseIsACell: a configuration harsh enough to abort TCP
+// connections (a starved pipe with a switch buffer a fraction of the
+// aggregate flight size) reports Collapsed cells — the regime boundary —
+// instead of failing the sweep, renders without error, and keeps the
+// telemetry stream's begin/end marks paired (the end mark carrying
+// collapsed=1 as its only value).
+func TestWANCollapseIsACell(t *testing.T) {
+	var events bytes.Buffer
+	cfg := WANConfig{
+		Counts:      []int{8},
+		Stacks:      []Stack{NFSv3},
+		Workloads:   []string{"seq-write"},
+		Transports:  []testbed.Transport{testbed.TransportTCP},
+		Capacities:  []int64{500_000},
+		Disciplines: []netqueue.Discipline{netqueue.DropTail},
+		Mixes:       []string{"lan"},
+		QueueBytes:  8 << 10,
+		FileSize:    256 << 10,
+		Seed:        5,
+		Metrics:     metrics.NewRecorder(metrics.NewSink(&events), metrics.Tags{"cmd": "wan"}),
+	}
+	cells, err := RunWAN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(cells))
+	}
+	if !cells[0].Collapsed {
+		t.Fatal("starved-pipe cell did not collapse (premise broken: tighten the config)")
+	}
+	var buf bytes.Buffer
+	RenderWAN(&buf, cells)
+	if !bytes.Contains(buf.Bytes(), []byte("collapse")) {
+		t.Fatalf("render does not mark the collapsed cell:\n%s", buf.String())
+	}
+
+	evs, err := metrics.ReadEvents(bytes.NewReader(events.Bytes()))
+	if err != nil {
+		t.Fatalf("stream does not validate: %v", err)
+	}
+	begins, ends, sawCollapsed := 0, 0, false
+	for _, e := range evs {
+		switch e.Tags["phase"] {
+		case "begin":
+			begins++
+		case "end":
+			ends++
+		}
+		if e.Subsys == metrics.SubsysRun && e.Values["collapsed"] == 1 {
+			sawCollapsed = true
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unpaired marks in collapsed stream: %d begins, %d ends", begins, ends)
+	}
+	if !sawCollapsed {
+		t.Fatal("no collapsed=1 result point in the stream")
+	}
+}
+
+// TestMixClients covers the built-in heterogeneity profiles.
+func TestMixClients(t *testing.T) {
+	for _, mix := range WANMixes {
+		cs, err := MixClients(mix, 4)
+		if err != nil || len(cs) != 4 {
+			t.Fatalf("%s: %v, %v", mix, cs, err)
+		}
+	}
+	straggler, _ := MixClients("straggler", 4)
+	if straggler[3].LossRate != 0.01 || straggler[0].LossRate != 0 {
+		t.Fatalf("straggler mix: %+v", straggler)
+	}
+	mixed, _ := MixClients("mixed", 4)
+	if mixed[0].RTT == mixed[1].RTT {
+		t.Fatalf("mixed mix not alternating: %+v", mixed)
+	}
+	if _, err := MixClients("nope", 2); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}

@@ -17,7 +17,9 @@ import (
 // checkedPackages lists the package directories (relative to the repo
 // root) held to the exported-doc-comment standard.
 var checkedPackages = []string{
+	"internal/cliutil",
 	"internal/metrics",
+	"internal/netqueue",
 	"internal/replay",
 	"internal/tcpsim",
 	"internal/testbed",

@@ -96,20 +96,20 @@ func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
 		}
 	}
 	if !ok || resp == nil {
-		return done, fmt.Errorf("iscsi: login failed (network loss)")
+		return done, fmt.Errorf("iscsi: login failed (network loss): %w", simnet.ErrTransportBroken)
 	}
 	i.loggedIn = true
 	i.expStatSN = resp.StatSN
 
 	// INQUIRY
 	if done, _, ok = i.command(done, scsi.Inquiry(96), nil, 96); !ok {
-		return done, fmt.Errorf("iscsi: inquiry lost")
+		return done, fmt.Errorf("iscsi: inquiry lost: %w", simnet.ErrTransportBroken)
 	}
 	// READ CAPACITY
 	var data []byte
 	done, data, ok = i.command(done, scsi.ReadCapacity10(), nil, 8)
 	if !ok || len(data) < 8 {
-		return done, fmt.Errorf("iscsi: read capacity failed")
+		return done, fmt.Errorf("iscsi: read capacity failed: %w", simnet.ErrTransportBroken)
 	}
 	var cap8 [8]byte
 	copy(cap8[:], data)
@@ -205,6 +205,9 @@ func (i *Initiator) ReadBlocks(start time.Duration, lba int64, buf []byte) (time
 		}
 		done, data, ok := i.command(at, scsi.Read10(uint32(lba+int64(off)), uint16(chunk)), nil, chunk*bs)
 		if !ok {
+			if data == nil { // loss-recovery retries exhausted, not a SCSI error
+				return done, fmt.Errorf("iscsi: READ(10) lost at lba=%d: %w", lba+int64(off), simnet.ErrTransportBroken)
+			}
 			return done, fmt.Errorf("iscsi: READ(10) failed at lba=%d: %s", lba+int64(off), string(data))
 		}
 		copy(buf[off*bs:], data)
@@ -232,6 +235,9 @@ func (i *Initiator) WriteBlocks(start time.Duration, lba int64, data []byte) (ti
 		done, sense, ok := i.command(at, scsi.Write10(uint32(lba+int64(off)), uint16(chunk)),
 			data[off*bs:(off+chunk)*bs], 0)
 		if !ok {
+			if sense == nil { // loss-recovery retries exhausted, not a SCSI error
+				return done, fmt.Errorf("iscsi: WRITE(10) lost at lba=%d: %w", lba+int64(off), simnet.ErrTransportBroken)
+			}
 			return done, fmt.Errorf("iscsi: WRITE(10) failed at lba=%d: %s", lba+int64(off), string(sense))
 		}
 		at = done

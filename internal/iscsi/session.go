@@ -105,24 +105,24 @@ func (s *Session) Login(at time.Duration) (time.Duration, error) {
 	s.net.CountMessage()
 	arrive, ok := s.conns[0].Transfer(ready, req.WireSize(), simnet.ClientToServer)
 	if !ok {
-		return arrive, fmt.Errorf("iscsi: login transport failed")
+		return arrive, fmt.Errorf("iscsi: login transport failed: %w", simnet.ErrTransportBroken)
 	}
 	resp, svcDone := s.target.HandleLogin(arrive, req)
 	reply, ok := s.conns[0].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
 	if !ok {
-		return reply, fmt.Errorf("iscsi: login reply transport failed")
+		return reply, fmt.Errorf("iscsi: login reply transport failed: %w", simnet.ErrTransportBroken)
 	}
 	s.loggedIn = true
 	s.expStatSN = resp.StatSN
 
 	done, _, ok := s.command(0, reply, scsi.Inquiry(96), nil, 96)
 	if !ok {
-		return done, fmt.Errorf("iscsi: inquiry failed")
+		return done, fmt.Errorf("iscsi: inquiry failed: %w", simnet.ErrTransportBroken)
 	}
 	var data []byte
 	done, data, ok = s.command(0, done, scsi.ReadCapacity10(), nil, 8)
 	if !ok || len(data) < 8 {
-		return done, fmt.Errorf("iscsi: read capacity failed")
+		return done, fmt.Errorf("iscsi: read capacity failed: %w", simnet.ErrTransportBroken)
 	}
 	var cap8 [8]byte
 	copy(cap8[:], data)
@@ -292,7 +292,7 @@ func (p *rdPipe) step() {
 		s.net.CountMessage()
 		arrive, ok := p.conn.Transfer(at, req.WireSize(), simnet.ClientToServer)
 		if !ok {
-			p.err = fmt.Errorf("iscsi: READ(10) request transport failed at lba=%d", p.lba+int64(cmd.blockOff))
+			p.err = fmt.Errorf("iscsi: READ(10) request transport failed at lba=%d: %w", p.lba+int64(cmd.blockOff), simnet.ErrTransportBroken)
 			return
 		}
 		resp, svcDone := s.target.HandleCommand(arrive, req)
@@ -309,7 +309,7 @@ func (p *rdPipe) step() {
 		return
 	}
 	if p.xfer.Failed() {
-		p.err = fmt.Errorf("iscsi: Data-In transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		p.err = fmt.Errorf("iscsi: Data-In transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
 		return
 	}
 	cmd := p.cmds[p.i]
@@ -397,7 +397,7 @@ func (p *wrPipe) step() {
 		return
 	}
 	if p.xfer.Failed() {
-		p.err = fmt.Errorf("iscsi: Data-Out transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		p.err = fmt.Errorf("iscsi: Data-Out transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
 		return
 	}
 	resp, svcDone := s.target.HandleCommand(p.xfer.Delivered(), p.req)
@@ -407,7 +407,7 @@ func (p *wrPipe) step() {
 	}
 	reply, ok := p.conn.Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
 	if !ok {
-		p.err = fmt.Errorf("iscsi: status transport failed at lba=%d", p.lba+int64(p.cmds[p.i].blockOff))
+		p.err = fmt.Errorf("iscsi: status transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
 		return
 	}
 	s.expStatSN = resp.StatSN

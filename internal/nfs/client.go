@@ -156,11 +156,42 @@ func (c *Client) charge(at time.Duration, payload int) time.Duration {
 	return c.cpu.Run(at, c.cost.PerCall+time.Duration(payload/1024)*c.cost.PerKB)
 }
 
+// chargeInterrupt bills client CPU for asynchronous reply processing:
+// the cost is accounted (interrupt-style) without gating the run queue,
+// so an in-flight reply does not serialize the next call's marshalling.
+func (c *Client) chargeInterrupt(at time.Duration, payload int) time.Duration {
+	if c.cpu == nil {
+		return at
+	}
+	return c.cpu.Interrupt(at, c.cost.PerCall+time.Duration(payload/1024)*c.cost.PerKB)
+}
+
 // call performs one RPC with realistic wire sizes. serve runs at the
 // server and returns its completion time plus the op error (which travels
 // back in the reply status).
 func (c *Client) call(at time.Duration, p Proc, nameLen, argPayload, resPayload int,
 	serve func(arrive time.Duration) (time.Duration, error)) (time.Duration, error) {
+	return c.callCharged(at, p, nameLen, argPayload, resPayload, serve, c.charge)
+}
+
+// asyncCall performs one RPC issued by the write-behind machinery:
+// marshalling charges (and is serialized by) the client CPU like any
+// call, but the reply is processed interrupt-style, so a reply in flight
+// never gates the next request's marshalling. This is what lets a flush
+// batch keep FlushWindow WRITEs on the wire — and what makes the RPC
+// transport slot table observable as a bottleneck when it is narrower
+// than the pipeline.
+func (c *Client) asyncCall(at time.Duration, p Proc, nameLen, argPayload, resPayload int,
+	serve func(arrive time.Duration) (time.Duration, error)) (time.Duration, error) {
+	return c.callCharged(at, p, nameLen, argPayload, resPayload, serve, c.chargeInterrupt)
+}
+
+// callCharged is the shared RPC body: chargeReply bills the reply-side
+// CPU cost (run-queue gating for synchronous calls, interrupt accounting
+// for asynchronous ones).
+func (c *Client) callCharged(at time.Duration, p Proc, nameLen, argPayload, resPayload int,
+	serve func(arrive time.Duration) (time.Duration, error),
+	chargeReply func(time.Duration, int) time.Duration) (time.Duration, error) {
 	at = c.charge(at, argPayload)
 	var opErr error
 	done, rpcErr := c.rpc.Call(at, ArgSize(c.ver, p, nameLen, argPayload),
@@ -175,7 +206,7 @@ func (c *Client) call(at time.Duration, p Proc, nameLen, argPayload, resPayload 
 	if rpcErr != nil {
 		return done, rpcErr
 	}
-	done = c.charge(done, resPayload)
+	done = chargeReply(done, resPayload)
 	return done, opErr
 }
 

@@ -252,7 +252,7 @@ func (wb *writeBehind) issueAll(at time.Duration) error {
 		off := k.idx * pageSize
 		stable := c.ver == V2
 		var st vfs.Stat
-		done, err := c.call(start, ProcWrite, 0, len(data), 0, func(arrive time.Duration) (time.Duration, error) {
+		done, err := c.asyncCall(start, ProcWrite, 0, len(data), 0, func(arrive time.Duration) (time.Duration, error) {
 			var e error
 			st, arrive, e = c.srv.Write(arrive, fh, off, data, stable)
 			return arrive, e

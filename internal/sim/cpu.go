@@ -46,6 +46,25 @@ func (c *CPU) Run(start, demand time.Duration) (done time.Duration) {
 	return done
 }
 
+// Interrupt accounts demand as asynchronous completion work (interrupt /
+// softirq style) beginning at start: busy time is booked against the
+// cumulative counter and the utilization windows, but the run-queue gate
+// is left untouched, so background reply processing does not serialize
+// the thread issuing the next request. A window can therefore be booked
+// past saturation when interrupt work overlaps run-queue work;
+// UtilizationPercentile clamps such windows at 1.0, keeping reported
+// utilization in the documented 0..1 range. Returns the completion time.
+func (c *CPU) Interrupt(start, demand time.Duration) (done time.Duration) {
+	if demand <= 0 {
+		return start
+	}
+	service := time.Duration(float64(demand) / c.Speed)
+	c.res.busy += service
+	c.res.count++
+	c.account(start, service)
+	return start + service
+}
+
 // account spreads service time across sampling windows [begin, begin+service).
 func (c *CPU) account(begin, service time.Duration) {
 	if c.windows == nil {

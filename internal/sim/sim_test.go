@@ -92,6 +92,25 @@ func TestCPUWindowedUtilization(t *testing.T) {
 	}
 }
 
+func TestCPUInterruptDoesNotGate(t *testing.T) {
+	c := NewCPU(1.0)
+	c.Window = time.Second
+	// A reply processed interrupt-style at t=10ms bills busy time but
+	// leaves the run queue free for work starting earlier.
+	if done := c.Interrupt(10*time.Millisecond, 2*time.Millisecond); done != 12*time.Millisecond {
+		t.Fatalf("interrupt done = %v", done)
+	}
+	if done := c.Run(0, time.Millisecond); done != time.Millisecond {
+		t.Fatalf("run gated by interrupt work: done = %v", done)
+	}
+	if c.Busy() != 3*time.Millisecond {
+		t.Fatalf("busy = %v, want 3ms (both charges accounted)", c.Busy())
+	}
+	if c.Interrupt(0, 0) != 0 {
+		t.Fatal("zero-demand interrupt advanced time")
+	}
+}
+
 func TestCPUSpeedScaling(t *testing.T) {
 	fast := NewCPU(2.0)
 	slow := NewCPU(1.0)

@@ -11,12 +11,21 @@
 package simnet
 
 import (
+	"errors"
 	"math/rand"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netqueue"
 	"repro/internal/sim"
 )
+
+// ErrTransportBroken classifies transport-level connection death: a TCP
+// connection aborted after exhausting its retransmissions, or a datagram
+// exchange abandoned after its retry budget — the congestion-collapse
+// failure mode. Protocol layers wrap it so harnesses can tell a
+// collapsed configuration from a programming error (errors.Is).
+var ErrTransportBroken = errors.New("simnet: transport connection broken")
 
 // Direction of a one-way frame.
 type Direction int
@@ -60,13 +69,18 @@ func DefaultLAN() Config {
 	}
 }
 
-// Network is a simulated full-duplex point-to-point link.
+// Network is a simulated full-duplex point-to-point link. When a shared
+// bottleneck endpoint is attached (AttachShared), serialization and
+// queueing happen at the shared netqueue.Link instead of this network's
+// private busy horizons, while propagation delay and loss injection stay
+// here — the per-client heterogeneity knobs.
 type Network struct {
-	cfg   Config
-	up    sim.Resource // client -> server
-	down  sim.Resource // server -> client
-	rng   *rand.Rand
-	stats metrics.NetStats
+	cfg    Config
+	up     sim.Resource // client -> server
+	down   sim.Resource // server -> client
+	shared *netqueue.Endpoint
+	rng    *rand.Rand
+	stats  metrics.NetStats
 }
 
 // New creates a network with the given configuration.
@@ -80,6 +94,22 @@ func New(cfg Config) *Network {
 	return &Network{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 }
 
+// AttachShared routes this network's frames through an endpoint of a
+// shared bottleneck link (see internal/netqueue): serialization and
+// drop-tail queueing move to the shared pipe — so concurrent networks
+// attached to the same link contend for one wire — while this network
+// keeps charging its own propagation delay and loss. Drop-tail overflow
+// hits the traffic that can lose frames and recover: UDP datagrams (the
+// RPC timer retransmits them) and TCP segments (the flow backs off), each
+// counted as a lost frame here. Stream-carried fluid messages are instead
+// backpressured — they wait out the backlog but are never killed, since
+// the byte stream underneath would deliver them.
+func (n *Network) AttachShared(ep *netqueue.Endpoint) { n.shared = ep }
+
+// Shared reports the attached bottleneck endpoint (nil when this network
+// owns its own private wire).
+func (n *Network) Shared() *netqueue.Endpoint { return n.shared }
+
 // SetRTT adjusts the propagation delay mid-simulation (the NISTNet knob).
 func (n *Network) SetRTT(rtt time.Duration) { n.cfg.RTT = rtt }
 
@@ -88,6 +118,9 @@ func (n *Network) RTT() time.Duration { return n.cfg.RTT }
 
 // SetLossRate adjusts frame loss probability (failure injection).
 func (n *Network) SetLossRate(p float64) { n.cfg.LossRate = p }
+
+// LossRate reports the configured frame loss probability.
+func (n *Network) LossRate() float64 { return n.cfg.LossRate }
 
 // Stats returns a snapshot of the accumulated counters.
 func (n *Network) Stats() metrics.NetStats { return n.stats }
@@ -131,24 +164,56 @@ func (n *Network) lossProb(size int, fragment bool) float64 {
 }
 
 // account records one frame of size payload bytes heading in direction d
-// and returns its serialization delay at link bandwidth.
-func (n *Network) account(size int, d Direction) (ser time.Duration) {
-	wire := int64(size + n.cfg.PerFrameOverhead)
+// and returns its wire size (payload plus per-frame overhead) and its
+// serialization delay at link bandwidth.
+func (n *Network) account(size int, d Direction) (wire int, ser time.Duration) {
+	w := int64(size + n.cfg.PerFrameOverhead)
 	n.stats.Frames++
 	if d == ClientToServer {
-		n.stats.BytesSent += wire
+		n.stats.BytesSent += w
 	} else {
-		n.stats.BytesRecv += wire
+		n.stats.BytesRecv += w
 	}
-	return time.Duration(wire * int64(time.Second) / n.cfg.Bandwidth)
+	return int(w), time.Duration(w * int64(time.Second) / n.cfg.Bandwidth)
+}
+
+// qdir maps a frame direction onto the shared link's.
+func qdir(d Direction) netqueue.Direction {
+	if d == ClientToServer {
+		return netqueue.Up
+	}
+	return netqueue.Down
+}
+
+// serialize charges one frame's wire occupancy: on a private wire it
+// occupies the direction's busy horizon; through a shared bottleneck it
+// queues at the link. droppable frames (UDP datagrams) are subject to the
+// drop-tail check — ok=false reports a queue drop — while stream-carried
+// fluid messages admit assured: the transport underneath would deliver
+// them through backpressure, so a full buffer delays rather than kills
+// them (an irrecoverable whole-message drop is the datagram failure mode).
+func (n *Network) serialize(start time.Duration, wire int, ser time.Duration, d Direction, droppable bool) (sent time.Duration, ok bool) {
+	if n.shared != nil {
+		if !droppable {
+			sent, _ := n.shared.SendControl(start, wire, qdir(d))
+			return sent, true
+		}
+		sent, _, ok := n.shared.Send(start, wire, qdir(d))
+		return sent, ok
+	}
+	return n.dir(d).Acquire(start, ser), true
 }
 
 // transmit models one frame: serialization on the sending direction plus
 // half-RTT propagation. It returns the arrival time and whether the frame
-// survived loss injection.
+// survived the shared queue (if any) and loss injection.
 func (n *Network) transmit(start time.Duration, size int, d Direction, fragment bool) (arrive time.Duration, ok bool) {
-	ser := n.account(size, d)
-	sent := n.dir(d).Acquire(start, ser)
+	wire, ser := n.account(size, d)
+	sent, ok := n.serialize(start, wire, ser, d, fragment)
+	if !ok {
+		n.stats.Dropped++
+		return sent + n.cfg.RTT/2, false
+	}
 	if p := n.lossProb(size, fragment); p > 0 && n.rng.Float64() < p {
 		n.stats.Dropped++
 		return sent + n.cfg.RTT/2, false
@@ -181,21 +246,43 @@ func (n *Network) SendDatagram(start time.Duration, size int, d Direction) (arri
 // SendSegment models one TCP data segment leaving at start: it returns
 // the time the sender finished serializing it (the next segment of the
 // flight starts there) and its arrival, and applies loss injection.
+// Under a shared bottleneck the sender NIC still paces the flight — sent
+// stays start plus this network's own serialization — while the segment
+// additionally queues at the link before arriving, so a window's worth of
+// back-to-back segments builds real backlog there. A drop-tail queue drop
+// reads as segment loss — the congestion signal that makes co-located TCP
+// flows back off against each other.
 func (n *Network) SendSegment(start time.Duration, size int, d Direction) (sent, arrive time.Duration, ok bool) {
-	sent = start + n.account(size, d)
+	wire, ser := n.account(size, d)
+	sent = start + ser
+	arrive = sent
+	if n.shared != nil {
+		depart, _, accepted := n.shared.Send(sent, wire, qdir(d))
+		arrive = depart
+		if !accepted {
+			n.stats.Dropped++
+			return sent, arrive + n.cfg.RTT/2, false
+		}
+	}
 	if p := n.lossProb(size, false); p > 0 && n.rng.Float64() < p {
 		n.stats.Dropped++
-		return sent, sent + n.cfg.RTT/2, false
+		return sent, arrive + n.cfg.RTT/2, false
 	}
-	return sent, sent + n.cfg.RTT/2, true
+	return sent, arrive + n.cfg.RTT/2, true
 }
 
 // SendControl delivers a one-way control frame (a pure TCP ACK) exempt
 // from loss injection: cumulative acknowledgment makes the stream robust
 // to individual ACK loss, so modeling it would only add noise. Control
-// frames are counted but, like data segments, stay off the busy horizon.
+// frames are counted but, on a private wire, stay off the busy horizon;
+// through a shared bottleneck they queue like data yet are never dropped.
 func (n *Network) SendControl(start time.Duration, size int, d Direction) (arrive time.Duration) {
-	return start + n.account(size, d) + n.cfg.RTT/2
+	wire, ser := n.account(size, d)
+	if n.shared != nil {
+		sent, _ := n.shared.SendControl(start, wire, qdir(d))
+		return sent + n.cfg.RTT/2
+	}
+	return start + ser + n.cfg.RTT/2
 }
 
 // Transport is a one-way message carrier a protocol stack ships its bytes

@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"repro/internal/netqueue"
+
 	"testing"
 	"time"
 )
@@ -216,5 +218,77 @@ func TestSegmentAndControlFrames(t *testing.T) {
 	}
 	if s := n.Stats(); s.Frames != 3 {
 		t.Fatalf("frames = %d, want 3", s.Frames)
+	}
+}
+
+// TestSharedBottleneckCouplesNetworks: two networks attached to one
+// netqueue link contend for a single wire — the second network's frame
+// queues behind the first's even though each network's private busy
+// horizon is untouched.
+func TestSharedBottleneckCouplesNetworks(t *testing.T) {
+	link := netqueue.New(netqueue.Config{Bandwidth: 1 << 20, QueueBytes: 1 << 20})
+	a := New(Config{RTT: 0, Bandwidth: 1 << 20, PerFrameOverhead: 0})
+	b := New(Config{RTT: 0, Bandwidth: 1 << 20, PerFrameOverhead: 0})
+	a.AttachShared(link.Endpoint(netqueue.EndpointConfig{}))
+	b.AttachShared(link.Endpoint(netqueue.EndpointConfig{}))
+
+	// A's 100 KB frame occupies the pipe ~100 ms; B's frame at t=1ms
+	// must wait it out.
+	if _, ok := a.Send(0, 100<<10, ClientToServer); !ok {
+		t.Fatal("frame dropped")
+	}
+	arrive, ok := b.Send(time.Millisecond, 1<<10, ClientToServer)
+	if !ok {
+		t.Fatal("frame dropped")
+	}
+	if arrive < 95*time.Millisecond {
+		t.Fatalf("second network's frame arrived at %v; no coupling through the shared link", arrive)
+	}
+	// The shared pipe did the serialization: the link saw both frames.
+	if f := link.Stats().Up.Frames; f != 2 {
+		t.Fatalf("link frames = %d, want 2", f)
+	}
+}
+
+// TestSharedQueueDropReadsAsLoss: overflowing the shared buffer drops
+// datagrams and TCP segments (the recoverable traffic), counted on both
+// the link and the sending network — while stream-carried fluid messages
+// and control frames are backpressured, never killed.
+func TestSharedQueueDropReadsAsLoss(t *testing.T) {
+	link := netqueue.New(netqueue.Config{Bandwidth: 1 << 20, QueueBytes: 4 << 10})
+	n := New(Config{RTT: 0, Bandwidth: 1 << 20, PerFrameOverhead: 0})
+	n.AttachShared(link.Endpoint(netqueue.EndpointConfig{}))
+	if _, ok := n.SendDatagram(0, 4<<10, ClientToServer); !ok {
+		t.Fatal("first datagram dropped on an idle pipe")
+	}
+	if _, ok := n.SendDatagram(0, 4<<10, ClientToServer); ok {
+		t.Fatal("second datagram accepted over a full buffer")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("network dropped = %d, want 1", n.Stats().Dropped)
+	}
+	if link.Stats().Up.QueueDrops != 1 {
+		t.Fatalf("link queue drops = %d, want 1", link.Stats().Up.QueueDrops)
+	}
+	// Segments see the same congestion signal (TCP's loss feedback): a
+	// 1 KB segment finishes NIC serialization (~1 ms) while the 4 KB
+	// datagram still fills the buffer, and the drop-tail check kills it.
+	if _, _, ok := n.SendSegment(0, 1<<10, ClientToServer); ok {
+		t.Fatal("segment accepted over a full buffer")
+	}
+	// Fluid stream messages are backpressured behind the backlog, not
+	// dropped: the byte stream underneath would deliver them.
+	arr, ok := n.Send(0, 4<<10, ClientToServer)
+	if !ok {
+		t.Fatal("stream message killed by the full buffer")
+	}
+	// One accepted 4 KB frame ahead at 1 MB/s (~3.9 ms) plus its own
+	// serialization: arrival lands past 7 ms unless it jumped the queue.
+	if arr < 7*time.Millisecond {
+		t.Fatalf("stream message jumped the backlog: arrival %v", arr)
+	}
+	// Control frames are assured: they queue but never drop.
+	if arr := n.SendControl(0, 0, ClientToServer); arr <= 0 {
+		t.Fatalf("control frame arrival %v", arr)
 	}
 }

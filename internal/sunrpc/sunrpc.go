@@ -40,12 +40,25 @@ const (
 	tcpRecordMark    = 4
 )
 
+// DefaultSlotEntries is the Linux RPC transport slot table size
+// (xprt_tcp_slot_table_entries / xprt_udp_slot_table_entries = 16): the
+// hard cap on in-flight calls per transport. When a client keeps more
+// RPCs outstanding than slots — e.g. a write-behind pool with a wider
+// flush window — the extra calls queue at the slot table, and the table,
+// not the wire, becomes the bottleneck. The slot-wait counters expose
+// exactly that in the telemetry stream.
+const DefaultSlotEntries = 16
+
 // Stats counts RPC-layer activity.
 type Stats struct {
 	Calls       int64
 	Retransmits int64
 	Timeouts    int64
 	Failures    int64
+	// SlotWaits counts calls that found every transport slot occupied;
+	// SlotWaitNs accumulates the virtual time they spent queued for one.
+	SlotWaits  int64
+	SlotWaitNs int64
 }
 
 // Add accumulates o into s (aggregating clients across remounts).
@@ -54,16 +67,20 @@ func (s *Stats) Add(o Stats) {
 	s.Retransmits += o.Retransmits
 	s.Timeouts += o.Timeouts
 	s.Failures += o.Failures
+	s.SlotWaits += o.SlotWaits
+	s.SlotWaitNs += o.SlotWaitNs
 }
 
 // Counters exports the stats for the metrics event stream
 // (metrics.SubsysRPC; see docs/METRICS.md).
 func (s Stats) Counters() map[string]int64 {
 	return map[string]int64{
-		"calls":       s.Calls,
-		"retransmits": s.Retransmits,
-		"timeouts":    s.Timeouts,
-		"failures":    s.Failures,
+		"calls":        s.Calls,
+		"retransmits":  s.Retransmits,
+		"timeouts":     s.Timeouts,
+		"failures":     s.Failures,
+		"slot_waits":   s.SlotWaits,
+		"slot_wait_ns": s.SlotWaitNs,
 	}
 }
 
@@ -79,6 +96,14 @@ type Client struct {
 	RTO time.Duration
 	// MaxRetries bounds retransmissions before the call errors out.
 	MaxRetries int
+	// SlotEntries is the transport slot table size: the cap on in-flight
+	// calls (default DefaultSlotEntries = 16, the Linux sysctl). A call
+	// arriving with every slot occupied waits for the earliest-freeing
+	// one; the wait is counted in Stats. Resize before issuing calls.
+	SlotEntries int
+
+	// slots holds each occupied slot's completion horizon.
+	slots []time.Duration
 
 	// conn, when set, is a reliable byte-stream transport (a tcpsim
 	// connection) the calls ride instead of fluid datagrams: loss
@@ -93,7 +118,40 @@ type Client struct {
 
 // NewClient builds an RPC client over net.
 func NewClient(net *simnet.Network, tr Transport) *Client {
-	return &Client{Net: net, Transport: tr, RTO: 350 * time.Millisecond, MaxRetries: 8}
+	return &Client{
+		Net:         net,
+		Transport:   tr,
+		RTO:         350 * time.Millisecond,
+		MaxRetries:  8,
+		SlotEntries: DefaultSlotEntries,
+	}
+}
+
+// acquireSlot admits one call into the transport slot table no earlier
+// than start: with every slot occupied it waits for the earliest-freeing
+// one (accounted in the slot-wait counters). The returned release
+// function records the call's completion in the chosen slot.
+func (c *Client) acquireSlot(start time.Duration) (admit time.Duration, release func(done time.Duration)) {
+	n := c.SlotEntries
+	if n <= 0 {
+		n = DefaultSlotEntries
+	}
+	if len(c.slots) != n {
+		c.slots = make([]time.Duration, n)
+	}
+	idx := 0
+	for i, h := range c.slots {
+		if h < c.slots[idx] {
+			idx = i
+		}
+	}
+	admit = start
+	if free := c.slots[idx]; free > admit {
+		admit = free
+		c.stats.SlotWaits++
+		c.stats.SlotWaitNs += int64(free - start)
+	}
+	return admit, func(done time.Duration) { c.slots[idx] = done }
 }
 
 // SetConn attaches a reliable byte-stream transport. Calls are framed
@@ -130,7 +188,10 @@ func (c *Client) overhead() (call, reply int) {
 
 // Call performs one RPC: argBytes of encoded arguments travel to the
 // server, serve maps arrival time to (result size, service completion),
-// and the reply travels back. Returns the completion time.
+// and the reply travels back. Returns the completion time. The call
+// first claims a transport slot (the Linux 16-entry slot table); with
+// every slot occupied by in-flight calls it queues for the earliest one,
+// and the wait shows up in the slot-wait counters.
 //
 // Timeout handling: if the reply would arrive after the client's RTO
 // fires, the client retransmits (duplicate request frame plus, for the
@@ -141,10 +202,22 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
 	callOH, replyOH := c.overhead()
 	c.stats.Calls++
+	admit, release := c.acquireSlot(start)
+	var done time.Duration
+	var err error
 	if c.conn != nil {
-		return c.callStream(start, callOH+argBytes, replyOH, serve)
+		done, err = c.callStream(admit, callOH+argBytes, replyOH, serve)
+	} else {
+		done, err = c.callDatagram(admit, callOH+argBytes, replyOH, serve)
 	}
+	release(done)
+	return done, err
+}
 
+// callDatagram performs one RPC over the datagram path with the
+// RPC-timer retransmission machinery. callBytes is the framed call size.
+func (c *Client) callDatagram(start time.Duration, callBytes, replyOH int,
+	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
 	attemptStart := start
 	rto := c.RTO
 	if rto <= 0 {
@@ -157,7 +230,7 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	served := false
 	cachedResult := 0
 	for attempt := 0; ; attempt++ {
-		arrive, ok := c.sendMsg(attemptStart, callOH+argBytes, simnet.ClientToServer)
+		arrive, ok := c.sendMsg(attemptStart, callBytes, simnet.ClientToServer)
 		if ok {
 			var resultBytes int
 			var done time.Duration
@@ -174,7 +247,7 @@ func (c *Client) Call(start time.Duration, argBytes int,
 			if rok {
 				// Spurious retransmissions: while the reply was in flight,
 				// did the client's timer fire?
-				return c.spuriousRetransmits(start, reply, callOH+argBytes, replyOH+resultBytes, rto), nil
+				return c.spuriousRetransmits(start, reply, callBytes, replyOH+resultBytes, rto), nil
 			}
 		}
 		// Request or reply lost: the client discovers nothing until the
@@ -182,7 +255,8 @@ func (c *Client) Call(start time.Duration, argBytes int,
 		c.stats.Timeouts++
 		if attempt >= c.MaxRetries {
 			c.stats.Failures++
-			return attemptStart + rto, fmt.Errorf("sunrpc: call failed after %d retransmissions", attempt)
+			return attemptStart + rto, fmt.Errorf("sunrpc: call failed after %d retransmissions: %w",
+				attempt, simnet.ErrTransportBroken)
 		}
 		c.stats.Retransmits++
 		attemptStart = attemptStart + rto
@@ -200,7 +274,7 @@ func (c *Client) callStream(start time.Duration, callBytes, replyOH int,
 	arrive, ok := c.conn.Transfer(start, callBytes, simnet.ClientToServer)
 	if !ok {
 		c.stats.Failures++
-		return arrive, fmt.Errorf("sunrpc: stream transport failed sending call")
+		return arrive, fmt.Errorf("sunrpc: stream transport failed sending call: %w", simnet.ErrTransportBroken)
 	}
 	resultBytes, done := serve(arrive)
 	if done < arrive {
@@ -209,7 +283,7 @@ func (c *Client) callStream(start time.Duration, callBytes, replyOH int,
 	reply, ok := c.conn.Transfer(done, replyOH+resultBytes, simnet.ServerToClient)
 	if !ok {
 		c.stats.Failures++
-		return reply, fmt.Errorf("sunrpc: stream transport failed sending reply")
+		return reply, fmt.Errorf("sunrpc: stream transport failed sending reply: %w", simnet.ErrTransportBroken)
 	}
 	return reply, nil
 }

@@ -178,3 +178,84 @@ func TestGiveUpAfterMaxRetries(t *testing.T) {
 		t.Fatalf("failures = %d", c.Stats().Failures)
 	}
 }
+
+// TestSlotTableCapsInflightCalls: with a 2-entry slot table, a third
+// call issued while two are in flight queues for the earliest-freeing
+// slot, and the wait lands in the slot counters.
+func TestSlotTableCapsInflightCalls(t *testing.T) {
+	n := simnet.New(simnet.Config{RTT: 10 * time.Millisecond, Bandwidth: 1 << 30})
+	c := NewClient(n, TCP)
+	c.SlotEntries = 2
+	serve := func(arrive time.Duration) (int, time.Duration) {
+		return 10, arrive + 100*time.Millisecond
+	}
+	// Two overlapping calls at t=0 occupy both slots past 110 ms.
+	d1, err := c.Call(0, 10, serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(0, 10, serve); err != nil {
+		t.Fatal(err)
+	}
+	// The third call at t=0 must wait for slot 1 to free (d1).
+	d3, err := c.Call(0, 10, serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 < d1+100*time.Millisecond {
+		t.Fatalf("third call done %v, want admitted no earlier than %v", d3, d1)
+	}
+	s := c.Stats()
+	if s.SlotWaits != 1 {
+		t.Fatalf("slot waits = %d, want 1", s.SlotWaits)
+	}
+	if s.SlotWaitNs < int64(100*time.Millisecond) {
+		t.Fatalf("slot wait %dns, want >= 100ms", s.SlotWaitNs)
+	}
+}
+
+// TestSlotTableIdleIsFree: sequential calls never wait on slots, so
+// existing single-stream workloads keep their exact timings.
+func TestSlotTableIdleIsFree(t *testing.T) {
+	c := NewClient(lan(), TCP)
+	done := time.Duration(0)
+	for i := 0; i < 40; i++ {
+		var err error
+		done, err = c.Call(done, 100, func(arrive time.Duration) (int, time.Duration) {
+			return 100, arrive
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.SlotWaits != 0 || s.SlotWaitNs != 0 {
+		t.Fatalf("sequential calls hit the slot table: %+v", s)
+	}
+}
+
+// TestSlotTableStreamPath: the slot table also gates calls riding a TCP
+// connection (the stream path bypasses RPC retransmission, not slots).
+func TestSlotTableStreamPath(t *testing.T) {
+	n := lan()
+	c := NewClient(n, TCP)
+	c.SlotEntries = 1
+	conn := tcpsim.NewConn(n, tcpsim.Config{DisableNagle: true})
+	if _, err := conn.Connect(0); err != nil {
+		t.Fatal(err)
+	}
+	c.SetConn(conn)
+	serve := func(arrive time.Duration) (int, time.Duration) {
+		return 10, arrive + 50*time.Millisecond
+	}
+	d1, err := c.Call(time.Second, 10, serve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(time.Second, 10, serve); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.SlotWaits != 1 || s.SlotWaitNs < int64(d1-time.Second) {
+		t.Fatalf("stream path slot stats: %+v (first call done %v)", s, d1)
+	}
+}

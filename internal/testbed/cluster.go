@@ -2,15 +2,27 @@ package testbed
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/ext3"
 	"repro/internal/iscsi"
 	"repro/internal/metrics"
+	"repro/internal/netqueue"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
+
+// ClientNet overrides one client's wire characteristics: the per-client
+// heterogeneity axis that makes WAN stragglers expressible. Zero fields
+// inherit the cluster defaults.
+type ClientNet struct {
+	// RTT is this client's round-trip propagation delay.
+	RTT time.Duration
+	// LossRate is this client's frame loss probability.
+	LossRate float64
+}
 
 // ClusterConfig parameterizes a multi-client testbed: N client machines
 // driving one server over a shared Gigabit segment.
@@ -23,6 +35,9 @@ type ClusterConfig struct {
 	DeviceBlocks int64
 	// RTT overrides the LAN round-trip time.
 	RTT time.Duration
+	// LossRate injects frame loss on every client's path (failure and
+	// WAN testing; per-client overrides via PerClient).
+	LossRate float64
 	// CommitInterval overrides ext3's journal commit interval (5 s).
 	CommitInterval time.Duration
 	// ClientCacheBlocks / ServerCacheBlocks bound the caches.
@@ -35,10 +50,43 @@ type ClusterConfig struct {
 	Transport   Transport
 	Conns       int
 	WindowBytes int
+	// Shared, when non-nil, multiplexes every client's traffic through
+	// one capacity-limited bottleneck (see internal/netqueue): each
+	// client gets its own simnet network — carrying its RTT and loss —
+	// admitted through one shared drop-tail (or fair-queued) pipe, so
+	// N-client saturation comes from the wire, not per-client pipeline
+	// depth. Nil keeps today's independent-links model byte-identically.
+	Shared *netqueue.Config
+	// PerClient gives client i its own RTT/loss (stragglers). Entries
+	// beyond it, and zero fields, inherit the cluster defaults. Setting
+	// it switches the cluster to per-client networks even without a
+	// Shared bottleneck, and tags each client's metric sources with its
+	// rtt/loss so straggler attribution is a -by client query.
+	PerClient []ClientNet
 	// Metrics, when non-nil, receives the cluster's telemetry: shared
 	// hardware and per-client protocol sources are registered at
 	// construction and EmitSample streams the deltas (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+}
+
+// validateCluster rejects unusable cluster-only parameters (base
+// parameters are checked by Config.validate).
+func (c *ClusterConfig) validateCluster() error {
+	if len(c.PerClient) > c.Clients {
+		return fmt.Errorf("testbed: %d PerClient entries for %d clients", len(c.PerClient), c.Clients)
+	}
+	for i, p := range c.PerClient {
+		if p.RTT < 0 {
+			return fmt.Errorf("testbed: client %d negative RTT", i)
+		}
+		if p.LossRate < 0 || p.LossRate >= 1 {
+			return fmt.Errorf("testbed: client %d loss rate %g out of [0, 1)", i, p.LossRate)
+		}
+	}
+	if c.Shared != nil {
+		return c.Shared.Validate()
+	}
+	return nil
 }
 
 // base converts to a single-client Config carrying the shared knobs.
@@ -47,6 +95,7 @@ func (c *ClusterConfig) base() Config {
 		Kind:              c.Kind,
 		DeviceBlocks:      c.DeviceBlocks,
 		RTT:               c.RTT,
+		LossRate:          c.LossRate,
 		CommitInterval:    c.CommitInterval,
 		ClientCacheBlocks: c.ClientCacheBlocks,
 		ServerCacheBlocks: c.ServerCacheBlocks,
@@ -70,15 +119,40 @@ type Cluster struct {
 	Kind Kind
 	Cfg  ClusterConfig
 
-	Net       *simnet.Network
+	// Net is the shared segment in independent-links mode; nil when
+	// per-client networks are in play (a Shared bottleneck or PerClient
+	// heterogeneity) — use ClientNetwork / Snap then.
+	Net *simnet.Network
+	// Link is the shared bottleneck every client's network admits
+	// through (nil unless Cfg.Shared was set).
+	Link      *netqueue.Link
 	ServerCPU *sim.CPU
 	Clients   []*Client
 
+	nets []*simnet.Network // one per client when heterogeneous; else len 1
 	dev  *blockdev.Local   // NFS export device (nil for iSCSI)
 	luns []*blockdev.Local // iSCSI LUNs (nil for NFS)
 	srv  *nfsServer        // shared NFS server state (nil for iSCSI)
 
 	rec *metrics.Recorder
+}
+
+// clientNetCfg derives client i's network parameters from the base
+// config plus its PerClient override.
+func (c *ClusterConfig) clientNetCfg(base Config, i int) Config {
+	cc := base
+	// Decorrelate per-client loss RNGs (one shared network draws from a
+	// single stream; N networks must not mirror each other).
+	cc.Seed = base.Seed + int64(i+1)*7919
+	if i < len(c.PerClient) {
+		if p := c.PerClient[i]; p.RTT > 0 {
+			cc.RTT = p.RTT
+		}
+		if p := c.PerClient[i]; p.LossRate > 0 {
+			cc.LossRate = p.LossRate
+		}
+	}
+	return cc
 }
 
 // NewCluster builds and mounts an N-client cluster.
@@ -87,11 +161,31 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err := base.validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.validateCluster(); err != nil {
+		return nil, err
+	}
 	cl := &Cluster{
 		Kind:      cfg.Kind,
 		Cfg:       cfg,
-		Net:       base.network(),
 		ServerCPU: sim.NewCPU(1.87), // 2 x 933 MHz
+	}
+	if cfg.Shared != nil {
+		cl.Link = netqueue.New(*cfg.Shared)
+	}
+	if cfg.Shared != nil || len(cfg.PerClient) > 0 {
+		// Per-client networks: each carries its own RTT/loss; a shared
+		// bottleneck (if any) couples their serialization.
+		cl.nets = make([]*simnet.Network, cfg.Clients)
+		for i := range cl.nets {
+			n := cfg.clientNetCfg(base, i).network()
+			if cl.Link != nil {
+				n.AttachShared(cl.Link.Endpoint(netqueue.EndpointConfig{}))
+			}
+			cl.nets[i] = n
+		}
+	} else {
+		cl.Net = base.network()
+		cl.nets = []*simnet.Network{cl.Net}
 	}
 
 	var serverReady time.Duration
@@ -118,7 +212,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.Clients; i++ {
 		cpu := sim.NewCPU(1.0)
-		h := hw{net: cl.Net, cpu: cpu, cfg: base}
+		h := hw{net: cl.ClientNetwork(i), cpu: cpu, cfg: base}
 		var st Stack
 		if cfg.Kind == ISCSI {
 			name := fmt.Sprintf("iqn.2004.repro:vol%d", i)
@@ -141,11 +235,41 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// ClientNetwork returns client i's network (the shared segment when the
+// cluster runs in independent-links mode).
+func (cl *Cluster) ClientNetwork(i int) *simnet.Network {
+	if len(cl.nets) == 1 {
+		return cl.nets[0]
+	}
+	return cl.nets[i]
+}
+
+// clientAxisTags returns the straggler-attribution tags for client i's
+// metric sources: rtt/loss in heterogeneous (per-client network) mode,
+// nil otherwise — so homogeneous streams stay byte-identical.
+func (cl *Cluster) clientAxisTags(i int) metrics.Tags {
+	if cl.Net != nil {
+		return nil
+	}
+	n := cl.nets[i]
+	return metrics.Tags{
+		"rtt":  n.RTT().String(),
+		"loss": strconv.FormatFloat(n.LossRate(), 'g', -1, 64),
+	}
+}
+
 // instrument registers the cluster's counter sources: shared hardware
-// (segment, array, server CPU), the shared NFS server (if any), then each
-// client's stack in client order.
+// (bottleneck link and/or segment, array, server CPU), the shared NFS
+// server (if any), then each client's stack in client order. In
+// heterogeneous mode every client's sources — including its own network
+// — carry that client's rtt/loss tags.
 func (cl *Cluster) instrument() {
-	cl.rec.Register(metrics.SubsysNet, nil, cl.Net.Counters)
+	if cl.Link != nil {
+		cl.rec.Register(metrics.SubsysNet, metrics.Tags{"link": "shared"}, cl.Link.Counters)
+	}
+	if cl.Net != nil {
+		cl.rec.Register(metrics.SubsysNet, nil, cl.Net.Counters)
+	}
 	if cl.dev != nil {
 		cl.rec.Register(metrics.SubsysDisk, nil, cl.dev.Counters)
 	} else if len(cl.luns) > 0 {
@@ -155,8 +279,16 @@ func (cl *Cluster) instrument() {
 	if len(cl.Clients) > 0 {
 		registerServerSources(cl.rec, cl.Clients[0].Stack)
 	}
-	for _, c := range cl.Clients {
-		registerClientSources(cl.rec, c)
+	for i, c := range cl.Clients {
+		extra := cl.clientAxisTags(i)
+		if cl.Net == nil {
+			tags := metrics.Tags{"client": strconv.Itoa(c.ID)}
+			for k, v := range extra {
+				tags[k] = v
+			}
+			cl.rec.Register(metrics.SubsysNet, tags, cl.nets[i].Counters)
+		}
+		registerClientSources(cl.rec, c, extra)
 	}
 }
 
@@ -252,14 +384,17 @@ func (cl *Cluster) ColdCache() error {
 	return nil
 }
 
-// Snap captures cluster-wide counters: shared network, shared array,
-// server CPU, and the sum of client CPU busy time. Time is the cluster
-// horizon. RPC aggregates every NFS client's SunRPC counters.
+// Snap captures cluster-wide counters: network traffic summed over every
+// client link, shared array, server CPU, and the sum of client CPU busy
+// time. Time is the cluster horizon. RPC aggregates every NFS client's
+// SunRPC counters.
 func (cl *Cluster) Snap() Snapshot {
 	s := Snapshot{
-		Net:        cl.Net.Stats(),
 		ServerBusy: cl.ServerCPU.Busy(),
 		Time:       cl.Horizon(),
+	}
+	for _, n := range cl.nets {
+		s.Net.Add(n.Stats())
 	}
 	if cl.dev != nil {
 		s.Disk = cl.dev.Stats()

@@ -37,13 +37,19 @@ func addCounterMap(dst, src map[string]int64) map[string]int64 {
 // registerClientSources registers the per-client sources: the client CPU
 // plus the mounted stack's protocol counters (SunRPC and the NFS client's
 // TCP connection, or the iSCSI endpoint, its TCP connections and the
-// client-side ext3).
-func registerClientSources(rec *metrics.Recorder, c *Client) {
+// client-side ext3). extra tags (a heterogeneous cluster's per-client
+// rtt/loss axes) are merged onto every source; nil leaves the
+// homogeneous tag set untouched.
+func registerClientSources(rec *metrics.Recorder, c *Client, extra metrics.Tags) {
 	if rec == nil {
 		return
 	}
 	tags := clientTag(c.ID)
 	host := metrics.Tags{"client": tags["client"], "host": "client"}
+	for k, v := range extra {
+		tags[k] = v
+		host[k] = v
+	}
 	rec.Register(metrics.SubsysCPU, host, c.CPU.Counters)
 	switch st := c.Stack.(type) {
 	case *nfsStack:

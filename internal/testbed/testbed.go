@@ -278,7 +278,7 @@ func (tb *Testbed) instrument() {
 	tb.rec.Register(metrics.SubsysNet, nil, tb.Net.Counters)
 	tb.rec.Register(metrics.SubsysDisk, nil, tb.dev.Counters)
 	tb.rec.Register(metrics.SubsysCPU, metrics.Tags{"host": "server"}, tb.ServerCPU.Counters)
-	registerClientSources(tb.rec, tb.Client)
+	registerClientSources(tb.rec, tb.Client, nil)
 	registerServerSources(tb.rec, tb.Client.Stack)
 }
 
