@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -480,4 +481,56 @@ func BenchmarkScaling(b *testing.B) {
 	}
 	report(b, iscsiMBps, "iscsi-agg-MBps@4c")
 	report(b, nfsMBps, "nfsv3-agg-MBps@4c")
+}
+
+// BenchmarkSchedulerStep measures the indexed-heap scheduler's
+// steady-state per-step cost with 10,000 live procs (each step re-keys
+// the heap — the fleet-scale hot path) and reports it for the perf
+// trajectory. The O(log N) growth proof across fleet sizes lives in
+// internal/sim's BenchmarkScheduler.
+func BenchmarkSchedulerStep(b *testing.B) {
+	s := sim.NewScheduler()
+	for i := 0; i < 10000; i++ {
+		c := sim.NewClock()
+		d := time.Duration(i%97+1) * time.Microsecond
+		s.Spawn(c, func() (bool, error) {
+			c.Advance(d)
+			return true, nil
+		})
+	}
+	b.ReportAllocs()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, float64(time.Since(start).Nanoseconds())/float64(b.N), "ns/step@10kprocs")
+}
+
+// BenchmarkFleetScaling runs one hybrid 10,000-client cell (8
+// mechanistic foreground clients, the rest calibrated fluid background)
+// and reports the fleet's aggregate throughput and the cell's wall-clock
+// cost — the headline for the fleet-scale engine.
+func BenchmarkFleetScaling(b *testing.B) {
+	var aggMBps, wallMs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		cells, err := core.RunScaling(core.ScaleConfig{
+			Counts:     []int{10000},
+			Workloads:  []string{"seq-write"},
+			Stacks:     []core.Stack{core.ISCSI},
+			FileSize:   256 << 10,
+			Foreground: 8,
+			Seed:       5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wallMs = float64(time.Since(start).Milliseconds())
+		aggMBps = cells[0].AggBytesPerSec / 1e6
+	}
+	report(b, aggMBps, "iscsi-agg-MBps@10kc")
+	report(b, wallMs, "wall-ms@10kc")
 }

@@ -37,6 +37,7 @@ func main() {
 	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	if *dump != "" {
@@ -44,7 +45,7 @@ func main() {
 		return
 	}
 
-	if err := cliutil.Int(*clients, "clients", 1, cliutil.MaxClients); err != nil {
+	if err := cliutil.Int(*clients, "clients", 1, cliutil.MaxMechClients); err != nil {
 		fatal(err.Error())
 	}
 	if err := cliutil.Int(*conns, "conns", 1, cliutil.MaxConns); err != nil {
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *ops < 0 {
 		fatal("bad -ops value (must be >= 0; 0 replays everything)")
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
 	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
@@ -106,6 +110,9 @@ func main() {
 	}
 	if err != nil {
 		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }
 

@@ -1,8 +1,10 @@
 // Command scale runs the multi-client scaling experiment: N concurrent
-// clients (1..16) drive one simulated server on each of the four protocol
-// stacks, and the table reports aggregate throughput, per-client latency
-// and server CPU utilization — the cluster extension of the paper's
-// single-client comparison.
+// clients drive one simulated server on each protocol stack, and the
+// table reports aggregate throughput, per-client latency and server CPU
+// utilization — the cluster extension of the paper's single-client
+// comparison. With -background, counts beyond -foreground run as hybrid
+// cells: K mechanistic clients sample the fleet while the rest become
+// calibrated fluid load, so sweeps reach 10,000+ clients in seconds.
 package main
 
 import (
@@ -20,41 +22,63 @@ func main() {
 	clients := flag.String("clients", "1,2,4,8,16", "comma-separated client counts")
 	workloads := flag.String("workloads", "seq-write,rand-read,postmark",
 		"comma-separated workloads ("+strings.Join(core.ScaleWorkloads, ",")+")")
+	stacks := flag.String("stacks", "all", "comma-separated stacks (all, nfsv2, nfsv3, nfsv4, iscsi)")
 	sizeMB := flag.Int64("size", 4, "per-client file size in MB (seq/rand workloads)")
 	pmFiles := flag.Int("pm-files", 50, "per-client PostMark pool size")
 	pmTxns := flag.Int("pm-txns", 250, "per-client PostMark transactions")
 	seed := flag.Int64("seed", 0, "workload seed")
+	background := flag.Bool("background", false,
+		"hybrid fleet mode: counts beyond -foreground run as calibrated fluid background load")
+	foreground := flag.Int("foreground", 8,
+		"mechanistic clients per hybrid cell (with -background)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
-	counts, err := cliutil.Ints(*clients, "clients", 1, cliutil.MaxClients)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "scale:", err)
 		os.Exit(1)
 	}
+	counts, err := cliutil.ClientCounts(*clients, *background)
+	if err != nil {
+		fail(err)
+	}
 	wls, err := cliutil.Workloads(*workloads, core.ScaleWorkloads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scale:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	sts, err := cliutil.Stacks(*stacks)
+	if err != nil {
+		fail(err)
+	}
+	fg := 0
+	if *background {
+		if err := cliutil.Int(*foreground, "foreground", 1, cliutil.MaxMechClients); err != nil {
+			fail(err)
+		}
+		fg = *foreground
+	}
+	if err := prof.Start(); err != nil {
+		fail(err)
 	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scale:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	cells, err := core.RunScaling(core.ScaleConfig{
 		Counts:               counts,
 		Workloads:            wls,
+		Stacks:               sts,
 		FileSize:             *sizeMB << 20,
 		PostMarkFiles:        *pmFiles,
 		PostMarkTransactions: *pmTxns,
 		Seed:                 *seed,
+		Foreground:           fg,
 		Metrics:              metrics.NewRecorder(sink, metrics.Tags{"cmd": "scale"}),
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scale:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	core.RenderScaling(os.Stdout, cells)
 	if err := sink.Err(); err == nil {
@@ -63,5 +87,8 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scale: metrics:", err)
 		os.Exit(1)
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
 	}
 }

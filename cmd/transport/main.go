@@ -32,8 +32,12 @@ func main() {
 		"workloads ("+strings.Join(core.TransportWorkloads, ",")+")")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
 		fatal(err.Error())
@@ -83,6 +87,9 @@ func main() {
 	}
 	if err != nil {
 		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }
 

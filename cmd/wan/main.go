@@ -43,8 +43,12 @@ func main() {
 	sizeKB := flag.Int64("size", 1024, "per-client file size in KB")
 	seed := flag.Int64("seed", 0, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
 	cfg := core.WANConfig{
 		QueueBytes:  *queueKB << 10,
 		Conns:       *conns,
@@ -53,7 +57,7 @@ func main() {
 		Seed:        *seed,
 	}
 	var err error
-	if cfg.Counts, err = cliutil.Ints(*clients, "clients", 1, cliutil.MaxClients); err != nil {
+	if cfg.Counts, err = cliutil.Ints(*clients, "clients", 1, cliutil.MaxMechClients); err != nil {
 		fatal(err.Error())
 	}
 	if cfg.Stacks, err = cliutil.Stacks(*stacks); err != nil {
@@ -119,6 +123,9 @@ func main() {
 	}
 	if err != nil {
 		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }
 

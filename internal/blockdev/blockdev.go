@@ -125,18 +125,31 @@ func NewTestbedArray(numBlocks int64) *Local {
 // iSCSI testbed, where every client owns a volume but all volumes contend
 // for the same spindles.
 func NewClusterArray(n int, numBlocks int64) []*Local {
+	return NewClusterArraySized(n, numBlocks, n)
+}
+
+// NewClusterArraySized is NewClusterArray with the member capacity sized
+// for capacityClients volumes while materializing only n LUNs: the hybrid
+// fleet case, where a handful of mechanistic clients must see the same
+// seek distances a full mechanistic fleet of capacityClients would. The
+// Store behind each LUN is sparse, so the extra address space costs
+// nothing until written.
+func NewClusterArraySized(n int, numBlocks int64, capacityClients int) []*Local {
 	if n < 1 {
 		n = 1
 	}
+	if capacityClients < n {
+		capacityClients = n
+	}
 	p := simdisk.Ultra160()
 	// Size members exactly like NewTestbedArray would for the same
-	// aggregate capacity (n*numBlocks per member, 4x logical slack), so
-	// the seek model — which scales with member capacity — is identical
-	// whether the array backs one NFS export or n iSCSI LUNs. Round up
-	// to the stripe unit so the top of the address space cannot map past
-	// a member's last block.
+	// aggregate capacity (capacityClients*numBlocks per member, 4x logical
+	// slack), so the seek model — which scales with member capacity — is
+	// identical whether the array backs one NFS export or n iSCSI LUNs.
+	// Round up to the stripe unit so the top of the address space cannot
+	// map past a member's last block.
 	const stripeUnit = 8
-	p.Blocks = (int64(n)*numBlocks + stripeUnit - 1) / stripeUnit * stripeUnit
+	p.Blocks = (int64(capacityClients)*numBlocks + stripeUnit - 1) / stripeUnit * stripeUnit
 	raid, err := simdisk.NewRAID5(5, p, stripeUnit)
 	if err != nil {
 		panic(err) // static configuration; cannot fail

@@ -14,14 +14,44 @@ import (
 	"repro/internal/testbed"
 )
 
-// Shared axis bounds: one client per simulated machine up to a rack's
-// worth, MC/S connection counts as Kumar et al. swept them, and loss
-// rates beyond 50% model a broken path, not a lossy one.
+// Shared axis bounds: fleet-scale totals for hybrid sweeps, one simulated
+// machine per client for mechanistic ones, MC/S connection counts as
+// Kumar et al. swept them, and loss rates beyond 50% model a broken
+// path, not a lossy one.
 const (
-	MaxClients     = 128
-	MaxConns       = 16
+	// MaxClients caps the total fleet size of any sweep, including the
+	// fluid background population in hybrid (background) mode.
+	MaxClients = 100000
+	// MaxMechClients caps fully mechanistic client counts: beyond a
+	// rack's worth, every extra client costs simulated state and wall
+	// clock — exactly what background (hybrid fluid) mode avoids.
+	MaxMechClients = 128
+	// MaxConns caps MC/S connection counts.
+	MaxConns = 16
+	// MaxLossPercent caps loss-rate axes.
 	MaxLossPercent = 50
 )
+
+// ClientCounts parses a -clients list. In background (hybrid) mode
+// counts range up to MaxClients; mechanistic-only sweeps cap at
+// MaxMechClients, and oversized counts get an error pointing at
+// -background instead of a bare range failure.
+func ClientCounts(list string, background bool) ([]int, error) {
+	counts, err := Ints(list, "clients", 1, MaxClients)
+	if err != nil {
+		return nil, err
+	}
+	if !background {
+		for _, n := range counts {
+			if n > MaxMechClients {
+				return nil, fmt.Errorf(
+					"bad -clients value %d: mechanistic sweeps cap at %d clients; pass -background to model larger fleets as calibrated fluid load",
+					n, MaxMechClients)
+			}
+		}
+	}
+	return counts, nil
+}
 
 // Ints parses a comma-separated integer list, requiring every value in
 // [min, max] and at least one value.

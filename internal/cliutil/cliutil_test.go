@@ -8,14 +8,32 @@ import (
 )
 
 func TestInts(t *testing.T) {
-	got, err := Ints(" 1, 2,16 ", "clients", 1, MaxClients)
+	got, err := Ints(" 1, 2,16 ", "clients", 1, MaxMechClients)
 	if err != nil || len(got) != 3 || got[2] != 16 {
 		t.Fatalf("got %v, %v", got, err)
 	}
 	for _, bad := range []string{"0", "129", "x", "", "1,,200"} {
-		if _, err := Ints(bad, "clients", 1, MaxClients); err == nil {
+		if _, err := Ints(bad, "clients", 1, MaxMechClients); err == nil {
 			t.Errorf("Ints(%q) accepted", bad)
 		}
+	}
+}
+
+func TestClientCounts(t *testing.T) {
+	got, err := ClientCounts("1,16,128", false)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("mechanistic counts: %v, %v", got, err)
+	}
+	if _, err := ClientCounts("10000", false); err == nil ||
+		!strings.Contains(err.Error(), "-background") {
+		t.Errorf("mechanistic 10000 error = %v, want hint at -background", err)
+	}
+	got, err = ClientCounts("16,10000,100000", true)
+	if err != nil || len(got) != 3 || got[2] != MaxClients {
+		t.Fatalf("background counts: %v, %v", got, err)
+	}
+	if _, err := ClientCounts("100001", true); err == nil {
+		t.Error("count above MaxClients accepted in background mode")
 	}
 }
 

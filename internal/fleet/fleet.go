@@ -1,0 +1,289 @@
+// Package fleet aggregates homogeneous background clients into closed-form
+// fluid load: the hybrid fluid/mechanistic trick that takes a sweep from
+// 16 fully-simulated clients to 10,000-client fleets in seconds.
+//
+// The model is a closed queueing network. Each background client cycles
+// through the shared stations — server CPU, the RAID array's bottleneck
+// member, and (when the cluster runs a shared bottleneck pipe) the link's
+// two directions — separated by a think time covering everything private
+// to the client (its own CPU, its own wire, cache hits). Per-op demands
+// are calibrated from one mechanistic client running alone (Calibrate),
+// and Solve runs Schweitzer's approximate Mean Value Analysis to the fixed
+// point, yielding the fleet's aggregate throughput, per-op cycle time and
+// per-station utilizations.
+//
+// The background share of each station's utilization is then injected
+// into the mechanistic simulation as fluid load (sim.Resource.SetBackground,
+// simdisk.RAID5.SetBackground, netqueue.Link.SetBackground): the K
+// foreground clients that stay fully mechanistic run against residual
+// capacity, while the B fluid clients cost O(1) regardless of B. The
+// package is pure arithmetic — no simulation state — so the testbed and
+// core harnesses own all wiring.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Demand is one background client's calibrated per-operation resource
+// usage: how long each op holds every shared station, plus the residual
+// think time between ops. The reporting rates (MsgsPerOp, DataBytesPerOp)
+// ride along for result synthesis and play no part in the queueing solve.
+type Demand struct {
+	// ServerCPU is server processor busy time per op.
+	ServerCPU time.Duration
+	// Disk is bottleneck array-member busy time per op.
+	Disk time.Duration
+	// UpBytes / DownBytes are shared-pipe wire bytes per op; they become
+	// link-station demands only when the cluster has a shared bottleneck
+	// (otherwise each client owns its wire and the time sits in Think).
+	UpBytes, DownBytes float64
+	// Think is the per-op time spent off the shared stations (client CPU,
+	// private wire, protocol turnarounds): cycle time at population 1
+	// minus the shared-station demands.
+	Think time.Duration
+	// MsgsPerOp is the calibrated protocol transaction count per op.
+	MsgsPerOp float64
+	// DataBytesPerOp is the calibrated application payload per op.
+	DataBytesPerOp float64
+}
+
+// validate rejects unusable demands.
+func (d Demand) validate() error {
+	if d.ServerCPU < 0 || d.Disk < 0 || d.Think < 0 {
+		return fmt.Errorf("fleet: negative demand %+v", d)
+	}
+	if d.UpBytes < 0 || d.DownBytes < 0 || d.MsgsPerOp < 0 || d.DataBytesPerOp < 0 {
+		return fmt.Errorf("fleet: negative rate %+v", d)
+	}
+	if d.ServerCPU == 0 && d.Disk == 0 && d.UpBytes == 0 && d.DownBytes == 0 && d.Think == 0 {
+		return fmt.Errorf("fleet: zero demand")
+	}
+	return nil
+}
+
+// Cohort is a homogeneous group of background clients sharing one
+// calibrated demand.
+type Cohort struct {
+	// Clients is the cohort's population.
+	Clients int
+	// Demand is the per-client, per-op calibrated usage.
+	Demand Demand
+}
+
+// Validate rejects unusable cohorts.
+func (c Cohort) Validate() error {
+	if c.Clients <= 0 {
+		return fmt.Errorf("fleet: cohort of %d clients", c.Clients)
+	}
+	return c.Demand.validate()
+}
+
+// Measured is one mechanistic client's measurement window, the input to
+// Calibrate: run the cohort's workload on a single client alone and
+// snapshot these deltas over the measured phase.
+type Measured struct {
+	// Elapsed is the client's measured window.
+	Elapsed time.Duration
+	// Ops is the syscall count over the window.
+	Ops int64
+	// ServerCPUBusy is server processor busy time over the window.
+	ServerCPUBusy time.Duration
+	// DiskBusy is bottleneck array-member busy time over the window.
+	DiskBusy time.Duration
+	// UpBytes / DownBytes are wire bytes over the window.
+	UpBytes, DownBytes int64
+	// Messages is the protocol transaction count over the window.
+	Messages int64
+	// DataBytes is the application payload moved over the window.
+	DataBytes int64
+}
+
+// Calibrate derives a per-op Demand from one mechanistic client's
+// measurements. linkBps, when positive, is the shared bottleneck pipe's
+// capacity: wire time then becomes a shared-station demand; when zero the
+// client's wire is private and its time stays inside Think.
+func Calibrate(m Measured, linkBps int64) (Demand, error) {
+	if m.Ops <= 0 {
+		return Demand{}, fmt.Errorf("fleet: calibration window with %d ops", m.Ops)
+	}
+	if m.Elapsed <= 0 {
+		return Demand{}, fmt.Errorf("fleet: calibration window of %v", m.Elapsed)
+	}
+	ops := float64(m.Ops)
+	d := Demand{
+		ServerCPU:      time.Duration(float64(m.ServerCPUBusy) / ops),
+		Disk:           time.Duration(float64(m.DiskBusy) / ops),
+		MsgsPerOp:      float64(m.Messages) / ops,
+		DataBytesPerOp: float64(m.DataBytes) / ops,
+	}
+	shared := time.Duration(0)
+	if linkBps > 0 {
+		d.UpBytes = float64(m.UpBytes) / ops
+		d.DownBytes = float64(m.DownBytes) / ops
+		shared = time.Duration((d.UpBytes + d.DownBytes) / float64(linkBps) * float64(time.Second))
+	}
+	cycle := time.Duration(float64(m.Elapsed) / ops)
+	think := cycle - d.ServerCPU - d.Disk - shared
+	if think < 0 {
+		// Pipelining (write-behind, interrupt-style completions) can push
+		// station busy time past the client's cycle; the model needs a
+		// non-negative think time.
+		think = 0
+	}
+	d.Think = think
+	return d, nil
+}
+
+// Station indices into Operating.Util.
+const (
+	StationCPU = iota
+	StationDisk
+	StationUp
+	StationDown
+	numStations
+)
+
+// Operating is the solved fluid operating point of a fleet: foreground
+// clients (mechanistically simulated elsewhere) plus background cohorts,
+// all assumed statistically identical to the cohorts' weighted demand.
+type Operating struct {
+	// Population is the total client count in the solved network.
+	Population int
+	// Background is the fluid (non-mechanistic) client count.
+	Background int
+	// Demand is the population-weighted per-op demand the solve used.
+	Demand Demand
+	// X is the fleet's aggregate throughput in ops/sec.
+	X float64
+	// BackgroundX is the background cohorts' share of X.
+	BackgroundX float64
+	// CycleTime is one client's per-op cycle (think + queueing response):
+	// the fluid estimate of per-op latency as the harnesses report it.
+	CycleTime time.Duration
+	// Util holds each station's full-fleet utilization (StationCPU..).
+	Util [numStations]float64
+	// BackgroundUtil holds the background share of each station's
+	// utilization — the fluid load to inject into the mechanistic run.
+	BackgroundUtil [numStations]float64
+}
+
+// weighted returns the client-weighted mean demand across cohorts.
+func weighted(cohorts []Cohort) (Demand, int) {
+	var total int
+	var cpu, disk, up, down, think, msgs, data float64
+	for _, c := range cohorts {
+		w := float64(c.Clients)
+		total += c.Clients
+		cpu += w * float64(c.Demand.ServerCPU)
+		disk += w * float64(c.Demand.Disk)
+		up += w * c.Demand.UpBytes
+		down += w * c.Demand.DownBytes
+		think += w * float64(c.Demand.Think)
+		msgs += w * c.Demand.MsgsPerOp
+		data += w * c.Demand.DataBytesPerOp
+	}
+	if total == 0 {
+		return Demand{}, 0
+	}
+	w := float64(total)
+	return Demand{
+		ServerCPU:      time.Duration(cpu / w),
+		Disk:           time.Duration(disk / w),
+		UpBytes:        up / w,
+		DownBytes:      down / w,
+		Think:          time.Duration(think / w),
+		MsgsPerOp:      msgs / w,
+		DataBytesPerOp: data / w,
+	}, total
+}
+
+// Solve runs Schweitzer's approximate MVA for a closed network of
+// foreground + cohort clients over the shared stations and returns the
+// fluid operating point. linkBps, when positive, adds the shared pipe's
+// two directions as stations (demand = bytes/op at pipe rate). The
+// foreground clients are assumed to run the same workload mix as the
+// cohorts (the scale sweeps' homogeneous-fleet case), so the solve uses
+// the population-weighted cohort demand for every client.
+func Solve(foreground int, cohorts []Cohort, linkBps int64) (Operating, error) {
+	if foreground < 0 {
+		return Operating{}, fmt.Errorf("fleet: negative foreground count %d", foreground)
+	}
+	for _, c := range cohorts {
+		if err := c.Validate(); err != nil {
+			return Operating{}, err
+		}
+	}
+	dem, bg := weighted(cohorts)
+	if bg == 0 {
+		return Operating{}, fmt.Errorf("fleet: no background clients")
+	}
+	n := foreground + bg
+
+	// Station demands in seconds.
+	var d [numStations]float64
+	d[StationCPU] = dem.ServerCPU.Seconds()
+	d[StationDisk] = dem.Disk.Seconds()
+	if linkBps > 0 {
+		d[StationUp] = dem.UpBytes / float64(linkBps)
+		d[StationDown] = dem.DownBytes / float64(linkBps)
+	}
+	z := dem.Think.Seconds()
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	if sum == 0 && z == 0 {
+		return Operating{}, fmt.Errorf("fleet: zero aggregate demand")
+	}
+
+	// Schweitzer fixed point: R_i = D_i(1 + Q_i(N-1)/N), X = N/(Z+sum R),
+	// Q_i = X R_i.
+	var q [numStations]float64
+	fn := float64(n)
+	var x float64
+	for iter := 0; iter < 100000; iter++ {
+		var rsum float64
+		var r [numStations]float64
+		for i, di := range d {
+			r[i] = di * (1 + q[i]*(fn-1)/fn)
+			rsum += r[i]
+		}
+		x = fn / (z + rsum)
+		var maxDelta float64
+		for i := range q {
+			nq := x * r[i]
+			if delta := math.Abs(nq - q[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			q[i] = nq
+		}
+		if maxDelta < 1e-12 {
+			break
+		}
+	}
+
+	op := Operating{
+		Population:  n,
+		Background:  bg,
+		Demand:      dem,
+		X:           x,
+		BackgroundX: x * float64(bg) / fn,
+		CycleTime:   time.Duration(fn / x * float64(time.Second)),
+	}
+	share := float64(bg) / fn
+	for i, di := range d {
+		u := x * di
+		// The fixed point keeps station utilization below 1; guard the
+		// injection against float round-off anyway, since a residual
+		// capacity of zero cannot be simulated.
+		if u > 0.999 {
+			u = 0.999
+		}
+		op.Util[i] = u
+		op.BackgroundUtil[i] = u * share
+	}
+	return op, nil
+}

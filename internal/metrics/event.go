@@ -41,6 +41,21 @@ const (
 	SubsysCPU   = "cpu"   // simulated processor busy time
 	SubsysRun   = "run"   // experiment harness marks and cell results
 	SubsysBench = "bench" // go test -benchjson headline metrics
+	SubsysFleet = "fleet" // fluid background-cohort aggregates
+)
+
+// Sampled-telemetry tag names. Above a cluster's telemetry fan-in, only a
+// stratified sample of per-client sources is registered; each sampled
+// source carries these tags so Summarize can re-weight its counters back
+// to the full population (see docs/METRICS.md).
+const (
+	// TagSampled is "true" on events from a sampled (non-exhaustive)
+	// per-client source.
+	TagSampled = "sampled"
+	// TagPopulation is the stratum's total client count.
+	TagPopulation = "population"
+	// TagSample is the stratum's sampled client count.
+	TagSample = "sample"
 )
 
 // Tags is the string-to-string tag set attached to an event. Tag keys are

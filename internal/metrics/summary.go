@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -95,7 +96,11 @@ func Summarize(events []Event, by []string) *Summary {
 		if e.T > g.LastT {
 			g.LastT = e.T
 		}
+		w := sampleWeight(e.Tags)
 		for k, v := range e.Counters {
+			if w != 1 {
+				v = int64(math.Round(float64(v) * w))
+			}
 			g.Counters[k] += v
 		}
 		for k, v := range e.Values {
@@ -107,6 +112,24 @@ func Summarize(events []Event, by []string) *Summary {
 		s.Groups = append(s.Groups, groups[k])
 	}
 	return s
+}
+
+// sampleWeight returns the population re-weighting factor for an event:
+// population/sample when the source is a stratified per-client sample
+// (TagSampled), 1 otherwise. Counter totals scale by it so a sampled
+// stream estimates the full fleet; point values are left unscaled —
+// stratified sampling is unbiased for distributions, and re-weighting a
+// latency would corrupt it.
+func sampleWeight(tags Tags) float64 {
+	if tags[TagSampled] != "true" {
+		return 1
+	}
+	pop, err1 := strconv.Atoi(tags[TagPopulation])
+	n, err2 := strconv.Atoi(tags[TagSample])
+	if err1 != nil || err2 != nil || pop <= 0 || n <= 0 {
+		return 1
+	}
+	return float64(pop) / float64(n)
 }
 
 // percentile returns the nearest-rank p-th percentile of sorted xs: the

@@ -184,7 +184,30 @@ type Link struct {
 	cfg   Config
 	lanes [2]lane
 	neps  int
+	bg    [2]int64 // fluid background load, bytes/sec per direction
 }
+
+// SetBackground declares closed-form fluid background load on the pipe:
+// up and down are the aggregate bytes/sec of clients that are not
+// mechanistically simulated (internal/fleet cohorts). Mechanistic frames
+// serialize against the residual capacity from now on. The fluid load is
+// stationary — it occupies bandwidth, not buffer, so the drop-tail bound
+// keeps acting on mechanistic traffic only. Either rate must leave
+// residual capacity; a load at or beyond the pipe capacity is rejected.
+func (l *Link) SetBackground(up, down int64) error {
+	if up < 0 || down < 0 {
+		return fmt.Errorf("netqueue: negative background load %d/%d", up, down)
+	}
+	if up >= l.cfg.Bandwidth || down >= l.cfg.Bandwidth {
+		return fmt.Errorf("netqueue: background load %d/%d bytes/s saturates %d bytes/s pipe",
+			up, down, l.cfg.Bandwidth)
+	}
+	l.bg[Up], l.bg[Down] = up, down
+	return nil
+}
+
+// Background reports the fluid background load in bytes/sec per direction.
+func (l *Link) Background() (up, down int64) { return l.bg[Up], l.bg[Down] }
 
 // New builds a link with the given configuration.
 func New(cfg Config) *Link {
@@ -256,9 +279,10 @@ func (l *Link) Endpoint(cfg EndpointConfig) *Endpoint {
 // ID reports the endpoint's attachment index.
 func (e *Endpoint) ID() int { return e.id }
 
-// serialization returns the frame's full-rate wire occupancy.
-func (l *Link) serialization(size int) time.Duration {
-	return time.Duration(int64(size) * int64(time.Second) / l.cfg.Bandwidth)
+// serialization returns the frame's wire occupancy in direction d at the
+// residual rate left by any fluid background load.
+func (l *Link) serialization(size int, d Direction) time.Duration {
+	return time.Duration(int64(size) * int64(time.Second) / (l.cfg.Bandwidth - l.bg[d]))
 }
 
 // prune drops departed frames from the lane's pending list and returns
@@ -300,7 +324,7 @@ func (l *Link) admit(now time.Duration, size, id int, d Direction, droppable boo
 		ln.stats.DropBytes += int64(size)
 		return now, false
 	}
-	ser := l.serialization(size)
+	ser := l.serialization(size, d)
 	var depart time.Duration
 	switch l.cfg.Discipline {
 	case DRR:

@@ -30,6 +30,17 @@ func NewCPU(speed float64) *CPU {
 	return &CPU{Speed: speed, Window: DefaultCPUWindow, windows: make(map[int64]time.Duration)}
 }
 
+// SetBackground declares that fraction rho of the CPU's capacity is
+// consumed by closed-form fluid background load (see Resource): foreground
+// demands run at the residual rate, and both cumulative busy time and the
+// utilization windows account the stretched occupancy. The background
+// load's own busy time is not accounted here — harnesses report it from
+// the fluid operating point (internal/fleet) instead.
+func (c *CPU) SetBackground(rho float64) { c.res.SetBackground(rho) }
+
+// Background reports the CPU's fluid background utilization (0 when none).
+func (c *CPU) Background() float64 { return c.res.Background() }
+
 // Run executes a demand of the given reference-CPU duration, starting no
 // earlier than start, and returns the completion time.
 func (c *CPU) Run(start, demand time.Duration) (done time.Duration) {
@@ -42,7 +53,7 @@ func (c *CPU) Run(start, demand time.Duration) (done time.Duration) {
 		begin = c.res.busyUntil
 	}
 	done = c.res.Acquire(start, service)
-	c.account(begin, service)
+	c.account(begin, done-begin)
 	return done
 }
 
@@ -58,7 +69,7 @@ func (c *CPU) Interrupt(start, demand time.Duration) (done time.Duration) {
 	if demand <= 0 {
 		return start
 	}
-	service := time.Duration(float64(demand) / c.Speed)
+	service := c.res.stretch(time.Duration(float64(demand) / c.Speed))
 	c.res.busy += service
 	c.res.count++
 	c.account(start, service)

@@ -82,6 +82,14 @@ func (d *Disk) Counters() map[string]int64 {
 // ResetStats zeroes the counters.
 func (d *Disk) ResetStats() { d.stats = metrics.DiskStats{} }
 
+// SetBackground declares that fraction rho of the drive's time is consumed
+// by fluid background traffic (see sim.Resource.SetBackground): foreground
+// requests are served at the residual rate. The closed-form load carries
+// no positions, so it leaves the sequentiality tracking — and therefore
+// the foreground seek pattern — untouched; hybrid fleet modeling accepts
+// that simplification (internal/fleet).
+func (d *Disk) SetBackground(rho float64) { d.arm.SetBackground(rho) }
+
 // Busy reports cumulative arm busy time.
 func (d *Disk) Busy() time.Duration { return d.arm.Busy() }
 

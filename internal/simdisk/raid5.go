@@ -72,6 +72,16 @@ func (r *RAID5) ResetStats() {
 	}
 }
 
+// SetBackground spreads fluid background utilization rho over every member
+// disk: the closed-form load of clients that are not mechanistically
+// simulated (internal/fleet). Foreground I/O on each member runs at the
+// residual rate 1-rho.
+func (r *RAID5) SetBackground(rho float64) {
+	for _, d := range r.disks {
+		d.SetBackground(rho)
+	}
+}
+
 // Busy reports the max member busy time (the array bottleneck).
 func (r *RAID5) Busy() time.Duration {
 	var max time.Duration

@@ -78,6 +78,7 @@ type Network struct {
 	cfg    Config
 	up     sim.Resource // client -> server
 	down   sim.Resource // server -> client
+	bg     [2]float64   // fluid background utilization per direction
 	shared *netqueue.Endpoint
 	rng    *rand.Rand
 	stats  metrics.NetStats
@@ -109,6 +110,30 @@ func (n *Network) AttachShared(ep *netqueue.Endpoint) { n.shared = ep }
 // Shared reports the attached bottleneck endpoint (nil when this network
 // owns its own private wire).
 func (n *Network) Shared() *netqueue.Endpoint { return n.shared }
+
+// SetBackground injects fluid background load on the wire: each
+// direction's serialization runs at the residual bandwidth (1-rho) x
+// capacity, covering the fluid path, TCP segment pacing and control
+// frames alike. Propagation delay and loss are per-frame properties and
+// stay untouched. rho outside [0, 1) panics — a saturated wire has no
+// residual capacity to simulate against.
+func (n *Network) SetBackground(up, down float64) {
+	for _, rho := range [2]float64{up, down} {
+		if rho < 0 || rho >= 1 {
+			panic("simnet: background utilization out of [0, 1)")
+		}
+	}
+	n.bg[ClientToServer], n.bg[ServerToClient] = up, down
+}
+
+// Background reports the fluid background utilization per direction.
+func (n *Network) Background() (up, down float64) {
+	return n.bg[ClientToServer], n.bg[ServerToClient]
+}
+
+// Bandwidth reports the configured wire capacity in bytes/sec per
+// direction (fleet calibrations divide wire bytes by it).
+func (n *Network) Bandwidth() int64 { return n.cfg.Bandwidth }
 
 // SetRTT adjusts the propagation delay mid-simulation (the NISTNet knob).
 func (n *Network) SetRTT(rtt time.Duration) { n.cfg.RTT = rtt }
@@ -174,7 +199,11 @@ func (n *Network) account(size int, d Direction) (wire int, ser time.Duration) {
 	} else {
 		n.stats.BytesRecv += w
 	}
-	return int(w), time.Duration(w * int64(time.Second) / n.cfg.Bandwidth)
+	bw := n.cfg.Bandwidth
+	if rho := n.bg[d]; rho > 0 {
+		bw = int64(float64(bw) * (1 - rho))
+	}
+	return int(w), time.Duration(w * int64(time.Second) / bw)
 }
 
 // qdir maps a frame direction onto the shared link's.

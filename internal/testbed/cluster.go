@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/ext3"
+	"repro/internal/fleet"
 	"repro/internal/iscsi"
 	"repro/internal/metrics"
 	"repro/internal/netqueue"
@@ -67,7 +68,32 @@ type ClusterConfig struct {
 	// hardware and per-client protocol sources are registered at
 	// construction and EmitSample streams the deltas (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+	// Background, when non-empty, adds fluid client cohorts: their
+	// calibrated demand is solved to a fleet operating point
+	// (internal/fleet) and injected as background load on the server CPU,
+	// the array and the shared bottleneck link, so the Clients mechanistic
+	// clients run against residual capacity. Fleet-level aggregates stream
+	// as metrics.SubsysFleet counters.
+	Background []fleet.Cohort
+	// CapacityClients sizes the iSCSI storage array as if this many
+	// clients attached (default Clients plus the Background population),
+	// so a hybrid run's mechanistic LUNs see the seek distances a full
+	// mechanistic fleet would. (The NFS export is sized by DeviceBlocks
+	// directly; scale that instead.)
+	CapacityClients int
+	// TelemetryFanIn bounds per-client metric sources: above it, only a
+	// stratified sample of clients per heterogeneity stratum registers
+	// sources, tagged sampled/population/sample so summaries re-weight
+	// (docs/METRICS.md). 0 means DefaultTelemetryFanIn; negative disables
+	// sampling and registers every client.
+	TelemetryFanIn int
 }
+
+// DefaultTelemetryFanIn is the per-stratum client-source limit above which
+// a cluster's telemetry switches to stratified sampling. It is comfortably
+// above every mechanistic sweep in the paper (16 clients), so sampling
+// only engages on fleet-scale runs.
+const DefaultTelemetryFanIn = 64
 
 // validateCluster rejects unusable cluster-only parameters (base
 // parameters are checked by Config.validate).
@@ -81,6 +107,11 @@ func (c *ClusterConfig) validateCluster() error {
 		}
 		if p.LossRate < 0 || p.LossRate >= 1 {
 			return fmt.Errorf("testbed: client %d loss rate %g out of [0, 1)", i, p.LossRate)
+		}
+	}
+	for _, co := range c.Background {
+		if err := co.Validate(); err != nil {
+			return err
 		}
 	}
 	if c.Shared != nil {
@@ -133,6 +164,8 @@ type Cluster struct {
 	dev  *blockdev.Local   // NFS export device (nil for iSCSI)
 	luns []*blockdev.Local // iSCSI LUNs (nil for NFS)
 	srv  *nfsServer        // shared NFS server state (nil for iSCSI)
+
+	fluid *fleet.Operating // solved background operating point (nil if none)
 
 	rec *metrics.Recorder
 }
@@ -188,10 +221,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.nets = []*simnet.Network{cl.Net}
 	}
 
+	capacity := cfg.CapacityClients
+	if capacity == 0 {
+		capacity = cfg.Clients
+		for _, co := range cfg.Background {
+			capacity += co.Clients
+		}
+	}
+
 	var serverReady time.Duration
 	switch cfg.Kind {
 	case ISCSI:
-		cl.luns = blockdev.NewClusterArray(cfg.Clients, base.DeviceBlocks)
+		cl.luns = blockdev.NewClusterArraySized(cfg.Clients, base.DeviceBlocks, capacity)
 		for i, lun := range cl.luns {
 			if _, err := ext3.Mkfs(0, lun, ext3.Options{CommitInterval: base.CommitInterval}); err != nil {
 				return nil, fmt.Errorf("testbed: cluster mkfs lun %d: %w", i, err)
@@ -208,6 +249,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		serverReady = done
+	}
+
+	if len(cfg.Background) > 0 {
+		if err := cl.applyFluid(); err != nil {
+			return nil, err
+		}
 	}
 
 	for i := 0; i < cfg.Clients; i++ {
@@ -233,6 +280,74 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.rec = cfg.Metrics.With(metrics.Tags{"transport": base.Transport.String()})
 	cl.instrument()
 	return cl, nil
+}
+
+// applyFluid solves the background cohorts to their operating point and
+// injects the background share of each shared station's utilization into
+// the mechanistic resources.
+func (cl *Cluster) applyFluid() error {
+	// The wire station is whichever pipe the clients actually share: the
+	// netqueue bottleneck when configured, else the common segment in
+	// homogeneous (single-network) mode. Heterogeneous per-client wires
+	// without a bottleneck are private — no shared wire station.
+	var linkBps int64
+	if cl.Link != nil {
+		linkBps = cl.Link.Config().Bandwidth
+	} else if cl.Net != nil {
+		linkBps = cl.Net.Bandwidth()
+	}
+	op, err := fleet.Solve(cl.Cfg.Clients, cl.Cfg.Background, linkBps)
+	if err != nil {
+		return err
+	}
+	cl.ServerCPU.SetBackground(op.BackgroundUtil[fleet.StationCPU])
+	if cl.dev != nil {
+		cl.dev.RAID().SetBackground(op.BackgroundUtil[fleet.StationDisk])
+	} else if len(cl.luns) > 0 {
+		cl.luns[0].RAID().SetBackground(op.BackgroundUtil[fleet.StationDisk])
+	}
+	switch {
+	case cl.Link != nil:
+		up := int64(op.BackgroundUtil[fleet.StationUp] * float64(linkBps))
+		down := int64(op.BackgroundUtil[fleet.StationDown] * float64(linkBps))
+		if err := cl.Link.SetBackground(up, down); err != nil {
+			return err
+		}
+	case cl.Net != nil:
+		cl.Net.SetBackground(op.BackgroundUtil[fleet.StationUp],
+			op.BackgroundUtil[fleet.StationDown])
+	}
+	cl.fluid = &op
+	return nil
+}
+
+// Fluid exposes the solved background operating point (nil when the
+// cluster is purely mechanistic).
+func (cl *Cluster) Fluid() *fleet.Operating { return cl.fluid }
+
+// DiskBusy reports the shared array's bottleneck-member busy time: the
+// disk-station demand a fleet calibration divides per op.
+func (cl *Cluster) DiskBusy() time.Duration {
+	if cl.dev != nil {
+		return cl.dev.RAID().Busy()
+	}
+	if len(cl.luns) > 0 {
+		return cl.luns[0].RAID().Busy()
+	}
+	return 0
+}
+
+// fleetCounters derives the fluid cohorts' cumulative activity at the
+// cluster horizon: the closed-form counterpart of a mechanistic client's
+// protocol counters. The horizon is monotone, so so are these.
+func (cl *Cluster) fleetCounters() map[string]int64 {
+	op := cl.fluid
+	secs := cl.Horizon().Seconds()
+	return map[string]int64{
+		"ops":        int64(op.BackgroundX * secs),
+		"messages":   int64(op.BackgroundX * op.Demand.MsgsPerOp * secs),
+		"data_bytes": int64(op.BackgroundX * op.Demand.DataBytesPerOp * secs),
+	}
 }
 
 // ClientNetwork returns client i's network (the shared segment when the
@@ -276,20 +391,85 @@ func (cl *Cluster) instrument() {
 		cl.rec.Register(metrics.SubsysDisk, nil, cl.luns[0].Counters)
 	}
 	cl.rec.Register(metrics.SubsysCPU, metrics.Tags{"host": "server"}, cl.ServerCPU.Counters)
+	if cl.fluid != nil {
+		cl.rec.Register(metrics.SubsysFleet,
+			metrics.Tags{"background": strconv.Itoa(cl.fluid.Background)}, cl.fleetCounters)
+	}
 	if len(cl.Clients) > 0 {
 		registerServerSources(cl.rec, cl.Clients[0].Stack)
 	}
-	for i, c := range cl.Clients {
-		extra := cl.clientAxisTags(i)
-		if cl.Net == nil {
-			tags := metrics.Tags{"client": strconv.Itoa(c.ID)}
-			for k, v := range extra {
-				tags[k] = v
+	for _, s := range cl.strata() {
+		sel := s.members
+		var sampleTags metrics.Tags
+		if fanIn := cl.fanIn(); fanIn > 0 && len(s.members) > fanIn {
+			// Stride-select fanIn clients spread across the stratum, and
+			// tag their sources so summaries re-weight counter totals by
+			// population/sample (docs/METRICS.md).
+			sel = make([]int, fanIn)
+			for j := range sel {
+				sel[j] = s.members[j*len(s.members)/fanIn]
 			}
-			cl.rec.Register(metrics.SubsysNet, tags, cl.nets[i].Counters)
+			sampleTags = metrics.Tags{
+				metrics.TagSampled:    "true",
+				metrics.TagPopulation: strconv.Itoa(len(s.members)),
+				metrics.TagSample:     strconv.Itoa(fanIn),
+			}
 		}
-		registerClientSources(cl.rec, c, extra)
+		for _, i := range sel {
+			c := cl.Clients[i]
+			extra := cl.clientAxisTags(i)
+			if extra == nil && sampleTags != nil {
+				extra = metrics.Tags{}
+			}
+			for k, v := range sampleTags {
+				extra[k] = v
+			}
+			if cl.Net == nil {
+				tags := metrics.Tags{"client": strconv.Itoa(c.ID)}
+				for k, v := range extra {
+					tags[k] = v
+				}
+				cl.rec.Register(metrics.SubsysNet, tags, cl.nets[i].Counters)
+			}
+			registerClientSources(cl.rec, c, extra)
+		}
 	}
+}
+
+// fanIn resolves the configured telemetry fan-in: 0 means the default,
+// negative means unlimited (no sampling).
+func (cl *Cluster) fanIn() int {
+	if cl.Cfg.TelemetryFanIn == 0 {
+		return DefaultTelemetryFanIn
+	}
+	return cl.Cfg.TelemetryFanIn
+}
+
+// stratum is one telemetry sampling stratum: the clients sharing a
+// heterogeneity tag set (rtt/loss), in registration order.
+type stratum struct {
+	members []int
+}
+
+// strata partitions clients by their axis tags, preserving client order
+// within and across strata, so stratified sampling covers every
+// heterogeneity class rather than whatever a uniform sample happens to
+// hit.
+func (cl *Cluster) strata() []*stratum {
+	out := []*stratum{}
+	index := map[string]*stratum{}
+	for i := range cl.Clients {
+		tags := cl.clientAxisTags(i)
+		key := tags["rtt"] + "|" + tags["loss"]
+		s, ok := index[key]
+		if !ok {
+			s = &stratum{}
+			index[key] = s
+			out = append(out, s)
+		}
+		s.members = append(s.members, i)
+	}
+	return out
 }
 
 // Metrics exposes the cluster's recorder (nil when un-instrumented).
@@ -315,21 +495,28 @@ func (cl *Cluster) Run(drivers []func() (more bool, err error)) error {
 	return s.Run()
 }
 
-// clocks returns every client clock.
-func (cl *Cluster) clocks() []*sim.Clock {
-	cs := make([]*sim.Clock, len(cl.Clients))
-	for i, c := range cl.Clients {
-		cs[i] = c.Clock
+// Horizon reports the latest client clock. It iterates the clients
+// directly — no per-call clock-slice allocation, since telemetry sampling
+// calls this on every emitted event batch.
+func (cl *Cluster) Horizon() time.Duration {
+	var h time.Duration
+	for _, c := range cl.Clients {
+		if t := c.Clock.Now(); t > h {
+			h = t
+		}
 	}
-	return cs
+	return h
 }
-
-// Horizon reports the latest client clock.
-func (cl *Cluster) Horizon() time.Duration { return sim.Horizon(cl.clocks()) }
 
 // Align advances every client clock to the cluster horizon (the barrier at
 // which a cluster-wide measurement window closes) and returns that time.
-func (cl *Cluster) Align() time.Duration { return sim.Align(cl.clocks()) }
+func (cl *Cluster) Align() time.Duration {
+	h := cl.Horizon()
+	for _, c := range cl.Clients {
+		c.Clock.AdvanceTo(h)
+	}
+	return h
+}
 
 // Drain flushes every client to stable storage and aligns all clocks past
 // all background work.

@@ -1,0 +1,257 @@
+package testbed
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// bgCohort is a hand-built background demand for wiring tests (calibrated
+// demands are exercised end-to-end by the core scaling tolerance test).
+func bgCohort(clients int) fleet.Cohort {
+	return fleet.Cohort{
+		Clients: clients,
+		Demand: fleet.Demand{
+			ServerCPU:      500 * time.Microsecond,
+			Disk:           2 * time.Millisecond,
+			Think:          20 * time.Millisecond,
+			MsgsPerOp:      2,
+			DataBytesPerOp: 4096,
+		},
+	}
+}
+
+// clusterMkdirs runs n mkdirs per client and drains.
+func clusterMkdirs(t *testing.T, cl *Cluster, n int) {
+	t.Helper()
+	drivers := make([]func() (bool, error), len(cl.Clients))
+	for i, c := range cl.Clients {
+		c, i := c, i
+		k := 0
+		drivers[i] = func() (bool, error) {
+			if k >= n {
+				return false, nil
+			}
+			k++
+			return true, c.Mkdir(fmt.Sprintf("/c%d-%d", i, k))
+		}
+	}
+	if err := cl.Run(drivers); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterHybridBackground verifies the fluid cohort wiring: the solved
+// operating point is applied to the shared resources, foreground clients
+// slow down against the residual capacity, and fleet counters stream.
+func TestClusterHybridBackground(t *testing.T) {
+	run := func(bg []fleet.Cohort) (*Cluster, []byte) {
+		var buf bytes.Buffer
+		cl, err := NewCluster(ClusterConfig{
+			Kind:         NFSv3,
+			Clients:      2,
+			DeviceBlocks: 8192,
+			Seed:         7,
+			Background:   bg,
+			Metrics:      metrics.NewRecorder(metrics.NewSink(&buf), nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterMkdirs(t, cl, 4)
+		cl.EmitSample()
+		return cl, buf.Bytes()
+	}
+
+	mech, _ := run(nil)
+	hyb, stream := run([]fleet.Cohort{bgCohort(30)})
+
+	if mech.Fluid() != nil {
+		t.Fatal("mechanistic cluster reports a fluid operating point")
+	}
+	op := hyb.Fluid()
+	if op == nil {
+		t.Fatal("hybrid cluster has no fluid operating point")
+	}
+	if op.Population != 32 || op.Background != 30 {
+		t.Fatalf("population/background = %d/%d, want 32/30", op.Population, op.Background)
+	}
+	if rho := hyb.ServerCPU.Background(); rho <= 0 || rho >= 1 {
+		t.Fatalf("server CPU background = %g, want in (0, 1)", rho)
+	}
+	if hyb.Horizon() <= mech.Horizon() {
+		t.Fatalf("hybrid horizon %v not behind mechanistic %v: background load had no effect",
+			hyb.Horizon(), mech.Horizon())
+	}
+
+	events, err := metrics.ReadEvents(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops, msgs int64
+	for _, e := range events {
+		if e.Subsys != metrics.SubsysFleet {
+			continue
+		}
+		if e.Tags["background"] != "30" {
+			t.Fatalf("fleet event background tag = %q, want 30", e.Tags["background"])
+		}
+		ops += e.Counters["ops"]
+		msgs += e.Counters["messages"]
+	}
+	if ops <= 0 {
+		t.Fatal("no fluid ops streamed")
+	}
+	wantOps := int64(op.BackgroundX * hyb.Horizon().Seconds())
+	if ops != wantOps {
+		t.Fatalf("streamed fleet ops = %d, want %d (rate x horizon)", ops, wantOps)
+	}
+	if msgs != int64(op.BackgroundX*op.Demand.MsgsPerOp*hyb.Horizon().Seconds()) {
+		t.Fatalf("streamed fleet messages = %d", msgs)
+	}
+}
+
+// TestClusterHybridDeterministic verifies hybrid streams replay
+// byte-identically, like every other cluster mode.
+func TestClusterHybridDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		cl, err := NewCluster(ClusterConfig{
+			Kind:         ISCSI,
+			Clients:      2,
+			DeviceBlocks: 8192,
+			Seed:         3,
+			Background:   []fleet.Cohort{bgCohort(14)},
+			Metrics:      metrics.NewRecorder(metrics.NewSink(&buf), nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterMkdirs(t, cl, 3)
+		cl.EmitSample()
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("hybrid cluster streams differ between identical runs")
+	}
+}
+
+// TestClusterTelemetrySampling verifies stratified per-client source
+// sampling above the fan-in: each heterogeneity stratum contributes
+// fan-in clients tagged sampled/population/sample, the rest register no
+// sources, and Summarize re-weights counter totals back to the
+// population.
+func TestClusterTelemetrySampling(t *testing.T) {
+	per := make([]ClientNet, 8)
+	for i := 4; i < 8; i++ {
+		per[i] = ClientNet{RTT: 10 * time.Millisecond}
+	}
+	var buf bytes.Buffer
+	cl, err := NewCluster(ClusterConfig{
+		Kind:           NFSv3,
+		Clients:        8,
+		DeviceBlocks:   8192,
+		Seed:           11,
+		PerClient:      per,
+		TelemetryFanIn: 2,
+		Metrics:        metrics.NewRecorder(metrics.NewSink(&buf), nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterMkdirs(t, cl, 2)
+	cl.EmitSample()
+
+	events, err := metrics.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStratum := map[string]map[string]bool{}
+	var rpcCalls int64
+	for _, e := range events {
+		if e.Subsys != metrics.SubsysRPC {
+			continue
+		}
+		if e.Tags[metrics.TagSampled] != "true" {
+			t.Fatalf("unsampled RPC source above fan-in: %+v", e.Tags)
+		}
+		if e.Tags[metrics.TagPopulation] != "4" || e.Tags[metrics.TagSample] != "2" {
+			t.Fatalf("population/sample tags = %q/%q, want 4/2",
+				e.Tags[metrics.TagPopulation], e.Tags[metrics.TagSample])
+		}
+		s := perStratum[e.Tags["rtt"]]
+		if s == nil {
+			s = map[string]bool{}
+			perStratum[e.Tags["rtt"]] = s
+		}
+		s[e.Tags["client"]] = true
+		rpcCalls += e.Counters["calls"]
+	}
+	if len(perStratum) != 2 {
+		t.Fatalf("sampled strata = %d, want 2 (per RTT class)", len(perStratum))
+	}
+	for rtt, clients := range perStratum {
+		if len(clients) != 2 {
+			t.Fatalf("stratum rtt=%s sampled %d clients, want 2", rtt, len(clients))
+		}
+	}
+
+	// Summarize re-weights the sampled counters: 2-of-4 per stratum means
+	// totals scale by 2 back to the full population.
+	sum := metrics.Summarize(events, nil)
+	var weighted int64
+	for _, g := range sum.Groups {
+		if g.Subsys == metrics.SubsysRPC {
+			weighted += g.Counters["calls"]
+		}
+	}
+	if weighted != 2*rpcCalls {
+		t.Fatalf("re-weighted calls = %d, want %d (2x raw %d)", weighted, 2*rpcCalls, rpcCalls)
+	}
+}
+
+// TestClusterTelemetrySamplingDisabled verifies a negative fan-in
+// registers every client, and clusters at or below the fan-in stay
+// exhaustive and untagged.
+func TestClusterTelemetrySamplingDisabled(t *testing.T) {
+	for _, fanIn := range []int{-1, 8} {
+		var buf bytes.Buffer
+		cl, err := NewCluster(ClusterConfig{
+			Kind:           NFSv3,
+			Clients:        8,
+			DeviceBlocks:   8192,
+			Seed:           11,
+			TelemetryFanIn: fanIn,
+			Metrics:        metrics.NewRecorder(metrics.NewSink(&buf), nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusterMkdirs(t, cl, 1)
+		cl.EmitSample()
+		events, err := metrics.ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients := map[string]bool{}
+		for _, e := range events {
+			if e.Subsys == metrics.SubsysRPC {
+				if e.Tags[metrics.TagSampled] != "" {
+					t.Fatalf("fanIn=%d: sampled tag on exhaustive stream", fanIn)
+				}
+				clients[e.Tags["client"]] = true
+			}
+		}
+		if len(clients) != 8 {
+			t.Fatalf("fanIn=%d: %d client sources, want 8", fanIn, len(clients))
+		}
+	}
+}
