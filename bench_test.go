@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -481,6 +482,43 @@ func BenchmarkScaling(b *testing.B) {
 	}
 	report(b, iscsiMBps, "iscsi-agg-MBps@4c")
 	report(b, nfsMBps, "nfsv3-agg-MBps@4c")
+}
+
+// BenchmarkTracing measures the tracing subsystem on one NFS v3 seq-read
+// cell, disabled (nil tracer — the zero-cost path every layer calls
+// unconditionally; allocation-freedom is test-enforced in
+// internal/tracing) against enabled (full span capture), and reports the
+// enabled overhead percentage plus spans captured per cell for the perf
+// trajectory.
+func BenchmarkTracing(b *testing.B) {
+	cell := func(tr *tracing.Tracer) time.Duration {
+		tb, err := testbed.New(testbed.Config{
+			Kind: testbed.NFSv3, DeviceBlocks: 8192, Seed: 42, Tracer: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := workload.SeqRandConfig{FileSize: 1 << 20, ChunkSize: 4096, Seed: 42}
+		start := time.Now()
+		if _, err := workload.SequentialRead(tb, src); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var disabled, enabled time.Duration
+	var spans float64
+	for i := 0; i < b.N; i++ {
+		disabled += cell(nil)
+		tr := tracing.New(tracing.Config{})
+		enabled += cell(tr)
+		spans = float64(len(tr.Spans()))
+	}
+	var overhead float64
+	if disabled > 0 {
+		overhead = 100 * (float64(enabled)/float64(disabled) - 1)
+	}
+	report(b, overhead, "enabled-overhead-%")
+	report(b, spans, "spans/cell")
 }
 
 // BenchmarkSchedulerStep measures the indexed-heap scheduler's

@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
+	trc := cliutil.TraceFlags()
 	flag.Parse()
 
 	if *dump != "" {
@@ -57,6 +58,10 @@ func main() {
 	if err := prof.Start(); err != nil {
 		fatal(err.Error())
 	}
+	tracer, err := trc.Tracer()
+	if err != nil {
+		fatal(err.Error())
+	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -74,6 +79,7 @@ func main() {
 		WindowBytes: *window << 10,
 		Seed:        *seed,
 		Metrics:     metrics.NewRecorder(sink, metrics.Tags{"cmd": "replay"}),
+		Tracer:      tracer,
 	}
 	if *file != "" {
 		f, err := os.Open(*file)
@@ -105,6 +111,9 @@ func main() {
 		fatal(err.Error())
 	}
 	core.RenderReplay(os.Stdout, cells)
+	if err := trc.Write(); err != nil {
+		fatal(err.Error())
+	}
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}

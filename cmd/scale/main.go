@@ -33,6 +33,7 @@ func main() {
 		"mechanistic clients per hybrid cell (with -background)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
+	trc := cliutil.TraceFlags()
 	flag.Parse()
 
 	fail := func(err error) {
@@ -61,6 +62,10 @@ func main() {
 	if err := prof.Start(); err != nil {
 		fail(err)
 	}
+	tracer, err := trc.Tracer()
+	if err != nil {
+		fail(err)
+	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -76,11 +81,15 @@ func main() {
 		Seed:                 *seed,
 		Foreground:           fg,
 		Metrics:              metrics.NewRecorder(sink, metrics.Tags{"cmd": "scale"}),
+		Tracer:               tracer,
 	})
 	if err != nil {
 		fail(err)
 	}
 	core.RenderScaling(os.Stdout, cells)
+	if err := trc.Write(); err != nil {
+		fail(err)
+	}
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}

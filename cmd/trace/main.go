@@ -1,0 +1,263 @@
+// Command trace runs one traced {stack x transport x workload} cell and
+// shows where its operations spent their virtual time: every syscall
+// becomes a span tree crossing the cache, RPC/iSCSI, transport, link,
+// CPU and disk layers, and the critical-path analyzer bills each
+// nanosecond of each op to exactly one of them. The table reports
+// per-layer billed time (mean/p50/p99 across ops) with each layer's
+// share of total latency — the mechanized version of the paper's
+// Section 5/6 packet-trace breakdowns.
+//
+//	go run ./cmd/trace -stack nfsv3 -workload seq-read -trace spans.jsonl
+//	go run ./cmd/trace -stack iscsi -conns 4 -chrome trace.json
+//	go run ./cmd/trace -from spans.jsonl -chrome trace.json   # re-analyze
+//
+// -trace writes the validated span JSONL (docs/TRACING.md); -chrome
+// writes Chrome trace_event JSON loadable in Perfetto or
+// chrome://tracing; -from re-analyzes an existing JSONL stream (also
+// schema-validating it) instead of running a cell. Identical seeds give
+// byte-identical spans.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/testbed"
+	"repro/internal/tracing"
+	"repro/internal/workload"
+)
+
+func main() {
+	stack := flag.String("stack", "nfsv3", "protocol stack (nfsv2, nfsv3, nfsv4, iscsi)")
+	transport := flag.String("transport", "tcp", "wire model (fluid, udp, tcp)")
+	wl := flag.String("workload", "seq-read",
+		"workload ("+strings.Join(core.TransportWorkloads, ",")+")")
+	sizeKB := flag.Int64("size", 256, "file size in KB per workload pass")
+	chunk := flag.Int("chunk", 4096, "per-syscall unit in bytes")
+	rtt := flag.Duration("rtt", 200*time.Microsecond, "network round-trip time")
+	loss := flag.Float64("loss", 0, "frame loss rate in %")
+	conns := flag.Int("conns", 1, "iSCSI MC/S connection count under TCP")
+	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	sample := flag.Int64("trace-sample", 1, "trace one op in every N")
+	slow := flag.Duration("trace-slow", 0, "trace only ops at least this slow, e.g. 500us")
+	tracePath := flag.String("trace", "", "write the span JSONL to this file (see docs/TRACING.md)")
+	chromePath := flag.String("chrome", "", "write Chrome trace_event JSON (Perfetto-loadable) to this file")
+	from := flag.String("from", "", "analyze an existing span JSONL instead of running a cell")
+	flag.Parse()
+
+	var spans []tracing.Span
+	label := ""
+	if *from != "" {
+		f, err := os.Open(*from)
+		if err != nil {
+			fatal(err.Error())
+		}
+		spans, err = tracing.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			fatal(*from + ": " + err.Error())
+		}
+		label = *from
+	} else {
+		var err error
+		spans, err = runCell(cellConfig{
+			stack:     *stack,
+			transport: *transport,
+			workload:  *wl,
+			fileSize:  *sizeKB << 10,
+			chunk:     *chunk,
+			rtt:       *rtt,
+			loss:      *loss / 100,
+			conns:     *conns,
+			window:    *window << 10,
+			seed:      *seed,
+			sample:    *sample,
+			slow:      *slow,
+		})
+		if err != nil {
+			fatal(err.Error())
+		}
+		label = fmt.Sprintf("%s/%s %s", *stack, *transport, *wl)
+	}
+
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, func(f *os.File) error {
+			return tracing.WriteSpans(f, spans)
+		}); err != nil {
+			fatal("-trace: " + err.Error())
+		}
+	}
+	if *chromePath != "" {
+		if err := writeFile(*chromePath, func(f *os.File) error {
+			return tracing.WriteChrome(f, spans)
+		}); err != nil {
+			fatal("-chrome: " + err.Error())
+		}
+	}
+	render(os.Stdout, label, spans)
+}
+
+// cellConfig holds the parsed cell axes.
+type cellConfig struct {
+	stack, transport, workload string
+	fileSize                   int64
+	chunk                      int
+	rtt                        time.Duration
+	loss                       float64
+	conns, window              int
+	seed, sample               int64
+	slow                       time.Duration
+}
+
+// runCell builds one traced testbed and drives one workload through it.
+func runCell(c cellConfig) ([]tracing.Span, error) {
+	stacks, err := cliutil.Stacks(c.stack)
+	if err != nil {
+		return nil, err
+	}
+	if len(stacks) != 1 {
+		return nil, fmt.Errorf("-stack: need exactly one stack, got %q", c.stack)
+	}
+	transports, err := cliutil.Transports(c.transport)
+	if err != nil {
+		return nil, err
+	}
+	if len(transports) != 1 {
+		return nil, fmt.Errorf("-transport: need exactly one wire model, got %q", c.transport)
+	}
+	if c.sample < 1 {
+		return nil, fmt.Errorf("-trace-sample: %d must be at least 1", c.sample)
+	}
+	if c.slow < 0 {
+		return nil, fmt.Errorf("-trace-slow: %v must not be negative", c.slow)
+	}
+	blocks := int64(16384)
+	if need := c.fileSize / 4096 * 4; need > blocks {
+		blocks = need
+	}
+	tracer := tracing.New(tracing.Config{Every: c.sample, Slow: c.slow})
+	tb, err := testbed.New(testbed.Config{
+		Kind:         stacks[0],
+		DeviceBlocks: blocks,
+		RTT:          c.rtt,
+		LossRate:     c.loss,
+		Seed:         c.seed,
+		Transport:    transports[0],
+		Conns:        c.conns,
+		WindowBytes:  c.window,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	src := workload.SeqRandConfig{FileSize: c.fileSize, ChunkSize: c.chunk, Seed: c.seed}
+	switch c.workload {
+	case "seq-read":
+		_, err = workload.SequentialRead(tb, src)
+	case "seq-write":
+		_, err = workload.SequentialWrite(tb, src)
+	case "rand-read":
+		_, err = workload.RandomRead(tb, src)
+	case "rand-write":
+		_, err = workload.RandomWrite(tb, src)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (have %s)",
+			c.workload, strings.Join(core.TransportWorkloads, ", "))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tracer.Spans(), nil
+}
+
+// render prints the per-layer critical-path table: for every traced op the
+// analyzer bills each nanosecond to one layer, and the table aggregates
+// the per-op bills as mean/p50/p99 with each layer's share of the total.
+func render(w *os.File, label string, spans []tracing.Span) {
+	roots := tracing.Roots(spans)
+	fmt.Fprintf(w, "Critical-path attribution: %s (%d spans, %d ops)\n",
+		label, len(spans), len(roots))
+	if len(roots) == 0 {
+		fmt.Fprintln(w, "no traced ops (sampled out?)")
+		return
+	}
+	perLayer := make(map[string][]time.Duration, len(tracing.Layers))
+	var latencies []time.Duration
+	var total time.Duration
+	for _, r := range roots {
+		attr, err := tracing.CriticalPath(spans, r.ID)
+		if err != nil {
+			fatal(err.Error())
+		}
+		for _, l := range tracing.Layers {
+			perLayer[l] = append(perLayer[l], attr[l])
+		}
+		latencies = append(latencies, r.End-r.Start)
+		total += r.End - r.Start
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %7s\n", "layer", "mean", "p50", "p99", "share")
+	for _, l := range tracing.Layers {
+		var sum time.Duration
+		for _, d := range perLayer[l] {
+			sum += d
+		}
+		if sum == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10s %10s %10s %6.1f%%\n", l,
+			fmtDur(sum/time.Duration(len(roots))),
+			fmtDur(percentile(perLayer[l], 50)),
+			fmtDur(percentile(perLayer[l], 99)),
+			100*float64(sum)/float64(total))
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %6.1f%%\n", "op latency",
+		fmtDur(total/time.Duration(len(roots))),
+		fmtDur(percentile(latencies, 50)),
+		fmtDur(percentile(latencies, 99)),
+		100.0)
+}
+
+// percentile is the nearest-rank p-th percentile (copies before sorting).
+func percentile(ds []time.Duration, p int) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := (len(s)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// fmtDur rounds for the table without losing sub-microsecond bills.
+func fmtDur(d time.Duration) string {
+	if d >= time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(10 * time.Nanosecond).String()
+}
+
+// writeFile creates path, runs fn on it, and closes it, reporting the
+// first error.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "trace:", msg)
+	os.Exit(1)
+}

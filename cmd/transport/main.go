@@ -33,9 +33,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
+	trc := cliutil.TraceFlags()
 	flag.Parse()
 
 	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
+	tracer, err := trc.Tracer()
+	if err != nil {
 		fatal(err.Error())
 	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
@@ -47,6 +52,7 @@ func main() {
 		ChunkSize: *chunk,
 		Seed:      *seed,
 		Metrics:   metrics.NewRecorder(sink, metrics.Tags{"cmd": "transport"}),
+		Tracer:    tracer,
 	}
 	rttMs, err := cliutil.Floats(*rtts, "rtts", 0, 10000)
 	if err != nil {
@@ -82,6 +88,9 @@ func main() {
 		fatal(err.Error())
 	}
 	core.RenderTransport(os.Stdout, cells)
+	if err := trc.Write(); err != nil {
+		fatal(err.Error())
+	}
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}

@@ -44,9 +44,14 @@ func main() {
 	seed := flag.Int64("seed", 0, "simulation seed")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
+	trc := cliutil.TraceFlags()
 	flag.Parse()
 
 	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
+	tracer, err := trc.Tracer()
+	if err != nil {
 		fatal(err.Error())
 	}
 	cfg := core.WANConfig{
@@ -55,8 +60,8 @@ func main() {
 		WindowBytes: *window << 10,
 		FileSize:    *sizeKB << 10,
 		Seed:        *seed,
+		Tracer:      tracer,
 	}
-	var err error
 	if cfg.Counts, err = cliutil.Ints(*clients, "clients", 1, cliutil.MaxMechClients); err != nil {
 		fatal(err.Error())
 	}
@@ -118,6 +123,9 @@ func main() {
 		fatal(err.Error())
 	}
 	core.RenderWAN(os.Stdout, cells)
+	if err := trc.Write(); err != nil {
+		fatal(err.Error())
+	}
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}

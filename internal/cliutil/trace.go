@@ -1,0 +1,75 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/tracing"
+)
+
+// Trace holds the -trace/-trace-sample/-trace-slow state for a sweep cmd.
+// The zero value (no flags set) is inert: Tracer returns nil — the
+// documented "tracing off" state every layer accepts — and Write does
+// nothing, so cmds call both unconditionally.
+type Trace struct {
+	path   string
+	every  int64
+	slow   time.Duration
+	tracer *tracing.Tracer
+}
+
+// TraceFlags registers -trace, -trace-sample and -trace-slow on the
+// default flag set and returns the Trace that drives them. Call Tracer
+// after flag.Parse to build the tracer for the sweep config, and Write
+// (after the sweep) to flush the spans.
+func TraceFlags() *Trace {
+	t := &Trace{}
+	flag.StringVar(&t.path, "trace", "",
+		"write per-op span trees to this JSONL file (see docs/TRACING.md)")
+	flag.Int64Var(&t.every, "trace-sample", 1,
+		"trace one op in every N (requires -trace)")
+	flag.DurationVar(&t.slow, "trace-slow", 0,
+		"trace only ops at least this slow, e.g. 500us (requires -trace)")
+	return t
+}
+
+// Tracer validates the flags and returns the tracer they configure, or
+// nil when -trace was not given. Call once, after flag.Parse.
+func (t *Trace) Tracer() (*tracing.Tracer, error) {
+	if t.path == "" {
+		if t.every != 1 || t.slow != 0 {
+			return nil, fmt.Errorf("-trace-sample/-trace-slow require -trace")
+		}
+		return nil, nil
+	}
+	if t.every < 1 {
+		return nil, fmt.Errorf("-trace-sample: %d must be at least 1", t.every)
+	}
+	if t.slow < 0 {
+		return nil, fmt.Errorf("-trace-slow: %v must not be negative", t.slow)
+	}
+	t.tracer = tracing.New(tracing.Config{Every: t.every, Slow: t.slow})
+	return t.tracer, nil
+}
+
+// Write flushes the recorded spans to the -trace file. Safe to call when
+// tracing was off.
+func (t *Trace) Write() error {
+	if t.tracer == nil {
+		return nil
+	}
+	f, err := os.Create(t.path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := tracing.WriteSpans(f, t.tracer.Spans()); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return nil
+}

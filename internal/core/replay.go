@@ -10,6 +10,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/testbed"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 // Replay experiment: the Section 7 workloads driven through the Section
@@ -60,6 +61,9 @@ type ReplayConfig struct {
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+	// Tracer, when non-nil, records per-op span trees for every cell
+	// (see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 func (c *ReplayConfig) fill() {
@@ -193,6 +197,7 @@ func runReplayCell(cfg ReplayConfig, name string, recs []trace.Record,
 		WindowBytes:  cfg.WindowBytes,
 		Metrics: cellRecorder(cfg.Metrics, "replay", stack,
 			metrics.Tags{"profile": name, "conns": itoa(conns), "clients": itoa(cfg.Clients)}),
+		Tracer: cfg.Tracer,
 	})
 	if err != nil {
 		return ReplayCell{}, err
@@ -205,6 +210,14 @@ func runReplayCell(cfg ReplayConfig, name string, recs []trace.Record,
 	res, err := replay.Run(cl, recs, replay.Options{DirMod: cfg.DirMod, MaxOps: maxOps})
 	if err != nil {
 		return ReplayCell{}, err
+	}
+	if len(res.Ops) > 0 {
+		lats := make([]time.Duration, len(res.Ops))
+		for i, op := range res.Ops {
+			lats[i] = op.Latency()
+		}
+		cl.Metrics().Emit(cl.Horizon(), metrics.SubsysHist, metrics.KindSample,
+			nil, metrics.LatencyHistogram(lats), nil)
 	}
 	endClusterCell(cl, nil, map[string]float64{
 		"ops":         float64(len(res.Ops)),

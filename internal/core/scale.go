@@ -8,6 +8,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/testbed"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -53,6 +54,9 @@ type ScaleConfig struct {
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+	// Tracer, when non-nil, records per-op span trees for every measured
+	// cell (calibration runs stay untraced; see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 func (c *ScaleConfig) fill() {
@@ -314,6 +318,7 @@ func runScaleCell(cfg ScaleConfig, wl string, stack Stack, n int, cal calibratio
 		Background:      cohorts,
 		CapacityClients: n,
 		Metrics:         cellRecorder(cfg.Metrics, "scale", stack, cellTags),
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return ScaleCell{}, err

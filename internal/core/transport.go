@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/testbed"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,9 @@ type TransportConfig struct {
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+	// Tracer, when non-nil, records per-op span trees for every cell
+	// (see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 func (c *TransportConfig) fill() {
@@ -187,6 +191,7 @@ func runTransportCell(cfg TransportConfig, wl string, stack Stack, v variant,
 		Conns:        v.conns,
 		WindowBytes:  window,
 		Metrics:      cellRecorder(cfg.Metrics, "transport", stack, cell),
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return TransportCell{}, err

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netqueue"
 	"repro/internal/simnet"
 	"repro/internal/testbed"
+	"repro/internal/tracing"
 	"repro/internal/workload"
 )
 
@@ -108,6 +109,9 @@ type WANConfig struct {
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes as experiment=wan (see docs/METRICS.md).
 	Metrics *metrics.Recorder
+	// Tracer, when non-nil, records per-op span trees for every cell
+	// (see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 func (c *WANConfig) fill() {
@@ -277,6 +281,7 @@ func runWANCell(cfg WANConfig, wl, mix string, q netqueue.Discipline,
 		},
 		PerClient: perClient,
 		Metrics:   cellRecorder(cfg.Metrics, "wan", stack, tags),
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		if collapsed(err) {

@@ -23,6 +23,7 @@ var checkedPackages = []string{
 	"internal/replay",
 	"internal/tcpsim",
 	"internal/testbed",
+	"internal/tracing",
 }
 
 // TestExportedDeclsAreDocumented parses each checked package (tests

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/tracing"
 )
 
 // buffer is one cached block.
@@ -35,6 +36,7 @@ type bcache struct {
 	lru       *list.List // front = most recently used
 	stats     bcacheStats
 	dirtyData map[int64]*buffer // dirty non-journaled (file data) blocks
+	tracer    *tracing.Tracer   // cache-miss spans (nil = tracing off)
 }
 
 func newBcache(dev blockdev.Device, max int) *bcache {
@@ -110,8 +112,12 @@ func (c *bcache) get(at time.Duration, lba int64, zero bool) (*buffer, time.Dura
 	b := &buffer{lba: lba, data: make([]byte, BlockSize)}
 	done := at
 	if !zero {
+		// The miss span parents the device I/O it forces (iSCSI exchange
+		// or RAID phases), so cache decisions show up on the critical path.
+		ref := c.tracer.Begin(at, tracing.LayerCache, "miss")
 		var err error
 		done, err = c.dev.ReadBlocks(at, lba, b.data)
+		c.tracer.End(ref, done)
 		if err != nil {
 			return nil, at, fmt.Errorf("ext3: block read %d: %w", lba, err)
 		}

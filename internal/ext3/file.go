@@ -3,6 +3,7 @@ package ext3
 import (
 	"time"
 
+	"repro/internal/tracing"
 	"repro/internal/vfs"
 )
 
@@ -208,7 +209,11 @@ func (f *File) ReadAt(at time.Duration, off int64, buf []byte) (int, time.Durati
 			run++
 		}
 		data := make([]byte, run*BlockSize)
+		// The miss span parents the device I/O the uncached run forces,
+		// like bcache.get does for single-block misses.
+		ref := fs.opts.Tracer.Begin(done, tracing.LayerCache, "miss")
 		d2, err := fs.dev.ReadBlocks(done, lbas[i], data)
+		fs.opts.Tracer.End(ref, d2)
 		if err != nil {
 			return 0, d2, err
 		}
@@ -325,7 +330,11 @@ func (fs *FS) readahead(at time.Duration, ino Ino, n *Inode, first, count int64)
 			run++
 		}
 		data := make([]byte, run*BlockSize)
+		// Prefetch I/O bills to the cache layer: the op that triggered it
+		// does not wait, but the wire and disk work it causes is real.
+		ref := fs.opts.Tracer.Begin(issueAt, tracing.LayerCache, "readahead")
 		done, err := fs.dev.ReadBlocks(issueAt, lba, data)
+		fs.opts.Tracer.End(ref, done)
 		if err != nil {
 			break
 		}

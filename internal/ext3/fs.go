@@ -203,11 +203,13 @@ func Mount(at time.Duration, dev blockdev.Device, opts Options) (*FS, time.Durat
 	if err != nil {
 		return nil, done, err
 	}
+	bc := newBcache(dev, opts.CacheBlocks)
+	bc.tracer = opts.Tracer
 	fs := &FS{
 		dev:      dev,
 		opts:     opts,
 		sb:       sb,
-		bc:       newBcache(dev, opts.CacheBlocks),
+		bc:       bc,
 		icache:   make(map[Ino]*Inode),
 		ra:       make(map[Ino]*raState),
 		dirGroup: make(map[Ino]int),

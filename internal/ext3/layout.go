@@ -23,6 +23,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"time"
+
+	"repro/internal/tracing"
 )
 
 // Fundamental layout constants.
@@ -199,6 +201,10 @@ type Options struct {
 	// code paths (the VFS + FS + block layer part of the paper's
 	// processing-path analysis).
 	CPU *CPUConfig
+	// Tracer, when set, records buffer-cache miss handling as
+	// tracing.LayerCache spans, parenting the device I/O the miss forces
+	// (nil = tracing off; see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 // CPUConfig attaches a simulated CPU and the per-operation demands the

@@ -7,7 +7,27 @@ import (
 	"repro/internal/scsi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/tracing"
 )
+
+// opName labels a SCSI command span after its CDB opcode.
+func opName(op byte) string {
+	switch op {
+	case scsi.OpRead10:
+		return "read10"
+	case scsi.OpWrite10:
+		return "write10"
+	case scsi.OpSyncCache10:
+		return "sync_cache"
+	case scsi.OpInquiry:
+		return "inquiry"
+	case scsi.OpReadCapacity10:
+		return "read_capacity"
+	case scsi.OpTestUnitReady:
+		return "tur"
+	}
+	return "scsi"
+}
 
 // MaxTransferBlocks caps a single SCSI command's transfer (256 KB of 4 KB
 // blocks), matching the MaxRecvDataSegmentLength we negotiate at login.
@@ -24,6 +44,7 @@ type Initiator struct {
 	target *Target
 	cpu    *sim.CPU
 	cost   CostModel
+	tracer *tracing.Tracer
 
 	itt       uint32
 	cmdSN     uint32
@@ -56,6 +77,11 @@ func NewInitiator(net *simnet.Network, target *Target, cpu *sim.CPU) *Initiator 
 
 // SetCosts overrides the client CPU cost model.
 func (i *Initiator) SetCosts(c CostModel) { i.cost = c }
+
+// SetTracer attaches a tracer: every SCSI command becomes a
+// tracing.LayerISCSI span covering the whole exchange, loss-recovery
+// timeouts included, with network frames and target work nested beneath.
+func (i *Initiator) SetTracer(t *tracing.Tracer) { i.tracer = t }
 
 func (i *Initiator) charge(at time.Duration, d time.Duration) time.Duration {
 	if i.cpu == nil {
@@ -138,6 +164,7 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 		ExpectedLen: uint32(expectIn),
 	}
 	at = i.charge(at, i.cost.PerCommand+time.Duration(len(data)/1024)*i.cost.PerKB)
+	ref := i.tracer.Begin(at, tracing.LayerISCSI, opName(cdb.Op))
 	rto := recoveryRTO
 	for attempt := 0; ; attempt++ {
 		var resp *PDU
@@ -149,6 +176,7 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 		if !ok {
 			// Request or response frame lost: recover after the timeout.
 			if attempt >= maxCommandRetries {
+				i.tracer.End(ref, done)
 				return done, nil, false
 			}
 			i.retries++
@@ -156,16 +184,18 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 			rto *= 2
 			continue
 		}
-		if resp == nil {
-			return done, nil, false
-		}
-		if resp.Status != scsi.StatusGood {
+		if resp == nil || resp.Status != scsi.StatusGood {
+			i.tracer.End(ref, done)
+			if resp == nil {
+				return done, nil, false
+			}
 			return done, resp.Data, false
 		}
 		i.expStatSN = resp.StatSN
 		if expectIn > 0 {
 			done = i.charge(done, time.Duration(expectIn/1024)*i.cost.PerKB)
 		}
+		i.tracer.End(ref, done)
 		return done, resp.Data, true
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tcpsim"
+	"repro/internal/tracing"
 )
 
 // Session is an iSCSI session multiplexing SCSI commands across N TCP
@@ -28,6 +29,7 @@ type Session struct {
 	target *Target
 	cpu    *sim.CPU
 	cost   CostModel
+	tracer *tracing.Tracer
 	conns  []*tcpsim.Conn
 
 	itt       uint32
@@ -66,6 +68,12 @@ func (s *Session) Counters() map[string]int64 {
 
 // SetCosts overrides the client CPU cost model.
 func (s *Session) SetCosts(c CostModel) { s.cost = c }
+
+// SetTracer attaches a tracer. Synchronous commands become enclosing
+// tracing.LayerISCSI spans; striped MC/S sub-commands — whose pipelines
+// interleave and complete out of issue order — are recorded as completed
+// spans at status time, so they never violate the tracer's LIFO stack.
+func (s *Session) SetTracer(t *tracing.Tracer) { s.tracer = t }
 
 // Stats returns the TCP counters aggregated across all connections.
 func (s *Session) Stats() tcpsim.Stats {
@@ -142,13 +150,16 @@ func (s *Session) command(ci int, at time.Duration, cdb scsi.CDB, data []byte, e
 	// shared CPU resource in monotone virtual-time order, which a
 	// completion-time charge — landing an RTT in the future — would break.
 	at = s.charge(at, s.cost.PerCommand+time.Duration((len(data)+expectIn)/1024)*s.cost.PerKB)
+	ref := s.tracer.Begin(at, tracing.LayerISCSI, opName(cdb.Op))
 	s.net.CountMessage()
 	arrive, ok := s.conns[ci].Transfer(at, req.WireSize(), simnet.ClientToServer)
 	if !ok {
+		s.tracer.End(ref, arrive)
 		return arrive, nil, false
 	}
 	resp, svcDone := s.target.HandleCommand(arrive, req)
 	reply, ok := s.conns[ci].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	s.tracer.End(ref, reply)
 	if !ok || resp.Status != scsi.StatusGood {
 		return reply, resp.Data, false
 	}
@@ -263,13 +274,14 @@ type rdPipe struct {
 	bs   int
 	buf  []byte
 
-	cmds []stripe
-	i    int
-	at   time.Duration
-	xfer *tcpsim.Transfer
-	resp *PDU
-	err  error
-	end  time.Duration
+	cmds  []stripe
+	i     int
+	at    time.Duration
+	issue time.Duration // current sub-command's post-charge issue time
+	xfer  *tcpsim.Transfer
+	resp  *PDU
+	err   error
+	end   time.Duration
 }
 
 func (p *rdPipe) done() bool                { return p.err != nil || p.i >= len(p.cmds) }
@@ -289,6 +301,7 @@ func (p *rdPipe) step() {
 		req := s.nextPDU(scsi.Read10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), nil, cmd.blocks*p.bs)
 		// Full command CPU demand at issue (see command for why).
 		at := s.charge(p.at, s.cost.PerCommand+time.Duration(cmd.blocks*p.bs/1024)*s.cost.PerKB)
+		p.issue = at
 		s.net.CountMessage()
 		arrive, ok := p.conn.Transfer(at, req.WireSize(), simnet.ClientToServer)
 		if !ok {
@@ -316,6 +329,7 @@ func (p *rdPipe) step() {
 	copy(p.buf[cmd.blockOff*p.bs:], p.resp.Data)
 	s.expStatSN = p.resp.StatSN
 	done := p.xfer.Delivered()
+	s.tracer.Record(p.issue, done, tracing.LayerISCSI, "read10")
 	p.at = done
 	if done > p.end {
 		p.end = done
@@ -362,13 +376,14 @@ type wrPipe struct {
 	bs   int
 	data []byte
 
-	cmds []stripe
-	i    int
-	at   time.Duration
-	xfer *tcpsim.Transfer
-	req  *PDU
-	err  error
-	end  time.Duration
+	cmds  []stripe
+	i     int
+	at    time.Duration
+	issue time.Duration // current sub-command's post-charge issue time
+	xfer  *tcpsim.Transfer
+	req   *PDU
+	err   error
+	end   time.Duration
 }
 
 func (p *wrPipe) done() bool                { return p.err != nil || p.i >= len(p.cmds) }
@@ -388,6 +403,7 @@ func (p *wrPipe) step() {
 		payload := p.data[cmd.blockOff*p.bs : (cmd.blockOff+cmd.blocks)*p.bs]
 		p.req = s.nextPDU(scsi.Write10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), payload, 0)
 		at := s.charge(p.at, s.cost.PerCommand+time.Duration(len(payload)/1024)*s.cost.PerKB)
+		p.issue = at
 		s.net.CountMessage()
 		p.xfer = p.conn.StartTransfer(at, p.req.WireSize(), simnet.ClientToServer)
 		return
@@ -411,6 +427,7 @@ func (p *wrPipe) step() {
 		return
 	}
 	s.expStatSN = resp.StatSN
+	s.tracer.Record(p.issue, reply, tracing.LayerISCSI, "write10")
 	p.at = reply
 	if reply > p.end {
 		p.end = reply

@@ -42,6 +42,7 @@ const (
 	SubsysRun   = "run"   // experiment harness marks and cell results
 	SubsysBench = "bench" // go test -benchjson headline metrics
 	SubsysFleet = "fleet" // fluid background-cohort aggregates
+	SubsysHist  = "hist"  // per-op latency histograms (log-spaced buckets)
 )
 
 // Sampled-telemetry tag names. Above a cluster's telemetry fan-in, only a

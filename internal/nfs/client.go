@@ -7,6 +7,7 @@ import (
 	"repro/internal/ext3"
 	"repro/internal/sim"
 	"repro/internal/sunrpc"
+	"repro/internal/tracing"
 	"repro/internal/vfs"
 )
 
@@ -51,11 +52,12 @@ type dirListing struct {
 
 // Client is the NFS client: it implements vfs.FileSystem over RPC.
 type Client struct {
-	ver  Version
-	rpc  *sunrpc.Client
-	srv  *Server
-	cpu  *sim.CPU
-	cost ClientCosts
+	ver    Version
+	rpc    *sunrpc.Client
+	srv    *Server
+	cpu    *sim.CPU
+	cost   ClientCosts
+	tracer *tracing.Tracer
 
 	rootFH  FH
 	mounted bool
@@ -111,6 +113,11 @@ func NewClient(ver Version, rpcc *sunrpc.Client, srv *Server, cpu *sim.CPU) *Cli
 
 // Version reports the protocol generation.
 func (c *Client) Version() Version { return c.ver }
+
+// SetTracer attaches a tracer: every RPC issued through the client's call
+// funnel becomes a tracing.LayerRPC span named after its procedure, with
+// transport legs and server work nested beneath it.
+func (c *Client) SetTracer(t *tracing.Tracer) { c.tracer = t }
 
 // SetCacheCapacity bounds the client page cache (in 4 KB pages), modeling
 // the client machine's memory.
@@ -193,6 +200,7 @@ func (c *Client) callCharged(at time.Duration, p Proc, nameLen, argPayload, resP
 	serve func(arrive time.Duration) (time.Duration, error),
 	chargeReply func(time.Duration, int) time.Duration) (time.Duration, error) {
 	at = c.charge(at, argPayload)
+	ref := c.tracer.Begin(at, tracing.LayerRPC, p.String())
 	var opErr error
 	done, rpcErr := c.rpc.Call(at, ArgSize(c.ver, p, nameLen, argPayload),
 		func(arrive time.Duration) (int, time.Duration) {
@@ -204,9 +212,11 @@ func (c *Client) callCharged(at time.Duration, p Proc, nameLen, argPayload, resP
 			return ResSize(c.ver, p, resPayload), fin
 		})
 	if rpcErr != nil {
+		c.tracer.End(ref, done)
 		return done, rpcErr
 	}
 	done = chargeReply(done, resPayload)
+	c.tracer.End(ref, done)
 	return done, opErr
 }
 

@@ -3,6 +3,8 @@ package sim
 import (
 	"sort"
 	"time"
+
+	"repro/internal/tracing"
 )
 
 // DefaultCPUWindow mirrors the 2-second vmstat sampling interval the paper
@@ -23,11 +25,22 @@ type CPU struct {
 
 	res     Resource
 	windows map[int64]time.Duration // window index -> busy time inside it
+
+	tracer *tracing.Tracer
+	layer  string // tracing layer ("cpu.client" / "cpu.server")
 }
 
 // NewCPU returns a CPU with the given relative speed (1.0 = reference core).
 func NewCPU(speed float64) *CPU {
 	return &CPU{Speed: speed, Window: DefaultCPUWindow, windows: make(map[int64]time.Duration)}
+}
+
+// SetTracer attaches a tracer that records each service interval as a span
+// in the given layer (tracing.LayerCPUClient or tracing.LayerCPUServer).
+// A nil tracer is the zero-cost disabled state.
+func (c *CPU) SetTracer(t *tracing.Tracer, layer string) {
+	c.tracer = t
+	c.layer = layer
 }
 
 // SetBackground declares that fraction rho of the CPU's capacity is
@@ -54,6 +67,9 @@ func (c *CPU) Run(start, demand time.Duration) (done time.Duration) {
 	}
 	done = c.res.Acquire(start, service)
 	c.account(begin, done-begin)
+	// The span starts at start, not begin: run-queue wait is CPU time from
+	// the op's point of view, and the critical path bills it here.
+	c.tracer.Record(start, done, c.layer, "run")
 	return done
 }
 
@@ -73,6 +89,7 @@ func (c *CPU) Interrupt(start, demand time.Duration) (done time.Duration) {
 	c.res.busy += service
 	c.res.count++
 	c.account(start, service)
+	c.tracer.Record(start, start+service, c.layer, "interrupt")
 	return start + service
 }
 

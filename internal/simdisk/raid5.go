@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/tracing"
 )
 
 // RAID5 models a 4+p left-symmetric RAID-5 array, matching the paper's
@@ -21,6 +22,7 @@ type RAID5 struct {
 	dataBlocks  int64 // logical capacity in blocks
 	stats       metrics.DiskStats
 	writebackOn bool // controller write-back cache absorbs some latency
+	tracer      *tracing.Tracer
 
 	// streamTails tracks the ends of recent write streams; appends that
 	// continue any tracked stream merge in NVRAM and destage without
@@ -46,6 +48,10 @@ func NewRAID5(members int, p Params, stripeUnitBlocks int) (*RAID5, error) {
 	r.dataBlocks = int64(members-1) * p.Blocks
 	return r, nil
 }
+
+// SetTracer attaches a tracer that records each logical array request as a
+// tracing.LayerDisk span (nil = tracing off).
+func (r *RAID5) SetTracer(t *tracing.Tracer) { r.tracer = t }
 
 // Blocks reports logical (data) capacity in blocks.
 func (r *RAID5) Blocks() int64 { return r.dataBlocks }
@@ -171,6 +177,7 @@ func (r *RAID5) Read(start time.Duration, lba int64, blocks int) (done time.Dura
 			done = t
 		}
 	}
+	r.tracer.Record(start, done, tracing.LayerDisk, "read")
 	return done, nil
 }
 
@@ -287,7 +294,12 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 			}
 		}
 	}
+	op := "write_rmw"
+	if blocks >= fullStripeBlocks || streaming {
+		op = "write_full"
+	}
 	if !r.writebackOn {
+		r.tracer.Record(start, mechDone, tracing.LayerDisk, op)
 		return mechDone, nil
 	}
 	// Requester sees NVRAM latency; backlog beyond the writeback window
@@ -297,5 +309,8 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 	if floor := mechDone - writebackWindow; floor > done {
 		done = floor
 	}
+	// The span covers the requester-visible completion (NVRAM landing or
+	// backlog throttle), not the background destage.
+	r.tracer.Record(start, done, tracing.LayerDisk, op)
 	return done, nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netqueue"
 	"repro/internal/sim"
+	"repro/internal/tracing"
 )
 
 // ErrTransportBroken classifies transport-level connection death: a TCP
@@ -82,6 +83,7 @@ type Network struct {
 	shared *netqueue.Endpoint
 	rng    *rand.Rand
 	stats  metrics.NetStats
+	tracer *tracing.Tracer
 }
 
 // New creates a network with the given configuration.
@@ -94,6 +96,14 @@ func New(cfg Config) *Network {
 	}
 	return &Network{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 }
+
+// SetTracer attaches a tracer that records every wire interval: private
+// serialization and HOL waits as tracing.LayerLink spans, shared-bottleneck
+// occupancy (enqueue through departure, including drops) as
+// tracing.LayerQueue spans. Propagation delay is deliberately unrecorded —
+// it bills to the enclosing transport leg on the critical path. A nil
+// tracer is the zero-cost disabled state.
+func (n *Network) SetTracer(t *tracing.Tracer) { n.tracer = t }
 
 // AttachShared routes this network's frames through an endpoint of a
 // shared bottleneck link (see internal/netqueue): serialization and
@@ -239,11 +249,22 @@ func (n *Network) serialize(start time.Duration, wire int, ser time.Duration, d 
 func (n *Network) transmit(start time.Duration, size int, d Direction, fragment bool) (arrive time.Duration, ok bool) {
 	wire, ser := n.account(size, d)
 	sent, ok := n.serialize(start, wire, ser, d, fragment)
-	if !ok {
-		n.stats.Dropped++
-		return sent + n.cfg.RTT/2, false
+	if p := n.lossProb(size, fragment); ok && p > 0 && n.rng.Float64() < p {
+		ok = false
 	}
-	if p := n.lossProb(size, fragment); p > 0 && n.rng.Float64() < p {
+	if n.tracer.Enabled() {
+		// On a private wire [start, sent) is serialization plus any HOL
+		// wait; through a shared bottleneck it is queue occupancy.
+		layer, op := tracing.LayerLink, "frame"
+		if n.shared != nil {
+			layer = tracing.LayerQueue
+		}
+		if !ok {
+			op = "drop"
+		}
+		n.tracer.Record(start, sent, layer, op)
+	}
+	if !ok {
 		n.stats.Dropped++
 		return sent + n.cfg.RTT/2, false
 	}
@@ -285,19 +306,29 @@ func (n *Network) SendSegment(start time.Duration, size int, d Direction) (sent,
 	wire, ser := n.account(size, d)
 	sent = start + ser
 	arrive = sent
+	ok = true
 	if n.shared != nil {
 		depart, _, accepted := n.shared.Send(sent, wire, qdir(d))
 		arrive = depart
-		if !accepted {
-			n.stats.Dropped++
-			return sent, arrive + n.cfg.RTT/2, false
+		ok = accepted
+	}
+	if p := n.lossProb(size, false); ok && p > 0 && n.rng.Float64() < p {
+		ok = false
+	}
+	if n.tracer.Enabled() {
+		op := "segment"
+		if !ok {
+			op = "drop"
+		}
+		n.tracer.Record(start, sent, tracing.LayerLink, op)
+		if n.shared != nil && arrive > sent {
+			n.tracer.Record(sent, arrive, tracing.LayerQueue, op)
 		}
 	}
-	if p := n.lossProb(size, false); p > 0 && n.rng.Float64() < p {
+	if !ok {
 		n.stats.Dropped++
-		return sent, arrive + n.cfg.RTT/2, false
 	}
-	return sent, arrive + n.cfg.RTT/2, true
+	return sent, arrive + n.cfg.RTT/2, ok
 }
 
 // SendControl delivers a one-way control frame (a pure TCP ACK) exempt
@@ -309,8 +340,10 @@ func (n *Network) SendControl(start time.Duration, size int, d Direction) (arriv
 	wire, ser := n.account(size, d)
 	if n.shared != nil {
 		sent, _ := n.shared.SendControl(start, wire, qdir(d))
+		n.tracer.Record(start, sent, tracing.LayerQueue, "ack")
 		return sent + n.cfg.RTT/2
 	}
+	n.tracer.Record(start, start+ser, tracing.LayerLink, "ack")
 	return start + ser + n.cfg.RTT/2
 }
 

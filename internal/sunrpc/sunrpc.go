@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/tracing"
 )
 
 // Transport selects the RPC transport model.
@@ -113,7 +114,8 @@ type Client struct {
 	// NFS-over-UDP as loss rises.
 	conn simnet.Transport
 
-	stats Stats
+	stats  Stats
+	tracer *tracing.Tracer
 }
 
 // NewClient builds an RPC client over net.
@@ -152,6 +154,19 @@ func (c *Client) acquireSlot(start time.Duration) (admit time.Duration, release 
 		c.stats.SlotWaitNs += int64(free - start)
 	}
 	return admit, func(done time.Duration) { c.slots[idx] = done }
+}
+
+// SetTracer attaches a tracer that records slot-table waits
+// (tracing.LayerRPC) and call/reply transport legs (tracing.LayerTCP or
+// LayerUDP), under which the wire's own link spans nest. Nil = off.
+func (c *Client) SetTracer(t *tracing.Tracer) { c.tracer = t }
+
+// layer names the tracing layer for this client's transport legs.
+func (c *Client) layer() string {
+	if c.Transport == UDP {
+		return tracing.LayerUDP
+	}
+	return tracing.LayerTCP
 }
 
 // SetConn attaches a reliable byte-stream transport. Calls are framed
@@ -203,6 +218,9 @@ func (c *Client) Call(start time.Duration, argBytes int,
 	callOH, replyOH := c.overhead()
 	c.stats.Calls++
 	admit, release := c.acquireSlot(start)
+	if admit > start {
+		c.tracer.Record(start, admit, tracing.LayerRPC, "slot-wait")
+	}
 	var done time.Duration
 	var err error
 	if c.conn != nil {
@@ -230,7 +248,9 @@ func (c *Client) callDatagram(start time.Duration, callBytes, replyOH int,
 	served := false
 	cachedResult := 0
 	for attempt := 0; ; attempt++ {
+		leg := c.tracer.Begin(attemptStart, c.layer(), "call")
 		arrive, ok := c.sendMsg(attemptStart, callBytes, simnet.ClientToServer)
+		c.tracer.End(leg, arrive)
 		if ok {
 			var resultBytes int
 			var done time.Duration
@@ -243,7 +263,9 @@ func (c *Client) callDatagram(start time.Duration, callBytes, replyOH int,
 			if done < arrive {
 				done = arrive
 			}
+			leg = c.tracer.Begin(done, c.layer(), "reply")
 			reply, rok := c.sendMsg(done, replyOH+resultBytes, simnet.ServerToClient)
+			c.tracer.End(leg, reply)
 			if rok {
 				// Spurious retransmissions: while the reply was in flight,
 				// did the client's timer fire?
@@ -271,7 +293,9 @@ func (c *Client) callDatagram(start time.Duration, callBytes, replyOH int,
 func (c *Client) callStream(start time.Duration, callBytes, replyOH int,
 	serve func(arrive time.Duration) (resultBytes int, done time.Duration)) (time.Duration, error) {
 	c.Net.CountMessage()
+	leg := c.tracer.Begin(start, tracing.LayerTCP, "call")
 	arrive, ok := c.conn.Transfer(start, callBytes, simnet.ClientToServer)
+	c.tracer.End(leg, arrive)
 	if !ok {
 		c.stats.Failures++
 		return arrive, fmt.Errorf("sunrpc: stream transport failed sending call: %w", simnet.ErrTransportBroken)
@@ -280,7 +304,9 @@ func (c *Client) callStream(start time.Duration, callBytes, replyOH int,
 	if done < arrive {
 		done = arrive
 	}
+	leg = c.tracer.Begin(done, tracing.LayerTCP, "reply")
 	reply, ok := c.conn.Transfer(done, replyOH+resultBytes, simnet.ServerToClient)
+	c.tracer.End(leg, reply)
 	if !ok {
 		c.stats.Failures++
 		return reply, fmt.Errorf("sunrpc: stream transport failed sending reply: %w", simnet.ErrTransportBroken)

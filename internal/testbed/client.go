@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/tracing"
 	"repro/internal/vfs"
 )
 
@@ -25,6 +26,10 @@ type Client struct {
 	FS vfs.FileSystem
 	// Env adds cwd handling on top of FS.
 	Env *vfs.Env
+	// Tracer, when non-nil, opens a root tracing.LayerSyscall span around
+	// every clock-advancing syscall, under which the protocol layers nest
+	// their own spans (see docs/TRACING.md).
+	Tracer *tracing.Tracer
 
 	ops int64
 }
@@ -104,6 +109,14 @@ func (c *Client) Compute(d time.Duration) {
 
 // ---- clock-advancing syscall wrappers (workload surface) ----
 
+// beginOp opens the root span for one syscall, tagged with the stack under
+// test so a mixed trace file remains self-describing.
+func (c *Client) beginOp(now time.Duration, op string) tracing.SpanRef {
+	ref := c.Tracer.BeginOp(now, tracing.LayerSyscall, op, c.ID)
+	c.Tracer.SetTag(ref, "stack", c.Stack.Kind().Tag())
+	return ref
+}
+
 // run advances the clock to the completion of op.
 func (c *Client) run(done time.Duration, err error) error {
 	c.Clock.AdvanceTo(done)
@@ -113,126 +126,186 @@ func (c *Client) run(done time.Duration, err error) error {
 
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string) error {
-	done, err := c.FS.Mkdir(c.Clock.Now(), c.Env.Abs(path), 0o755)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "mkdir")
+	done, err := c.FS.Mkdir(now, c.Env.Abs(path), 0o755)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Rmdir removes a directory.
 func (c *Client) Rmdir(path string) error {
-	done, err := c.FS.Rmdir(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "rmdir")
+	done, err := c.FS.Rmdir(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Chdir changes the working directory.
 func (c *Client) Chdir(path string) error {
-	done, err := c.Env.Chdir(c.Clock.Now(), path)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "chdir")
+	done, err := c.Env.Chdir(now, path)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // ReadDir lists a directory.
 func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
-	ents, done, err := c.FS.ReadDir(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "readdir")
+	ents, done, err := c.FS.ReadDir(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return ents, c.run(done, err)
 }
 
 // Symlink creates a symbolic link.
 func (c *Client) Symlink(target, path string) error {
-	done, err := c.FS.Symlink(c.Clock.Now(), target, c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "symlink")
+	done, err := c.FS.Symlink(now, target, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Readlink reads a symbolic link.
 func (c *Client) Readlink(path string) (string, error) {
-	t, done, err := c.FS.Readlink(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "readlink")
+	t, done, err := c.FS.Readlink(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return t, c.run(done, err)
 }
 
 // Link creates a hard link.
 func (c *Client) Link(oldpath, newpath string) error {
-	done, err := c.FS.Link(c.Clock.Now(), c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "link")
+	done, err := c.FS.Link(now, c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Unlink removes a file.
 func (c *Client) Unlink(path string) error {
-	done, err := c.FS.Unlink(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "unlink")
+	done, err := c.FS.Unlink(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Rename moves a file or directory.
 func (c *Client) Rename(oldpath, newpath string) error {
-	done, err := c.FS.Rename(c.Clock.Now(), c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "rename")
+	done, err := c.FS.Rename(now, c.Env.Abs(oldpath), c.Env.Abs(newpath))
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Stat queries attributes.
 func (c *Client) Stat(path string) (vfs.Stat, error) {
-	st, done, err := c.FS.Stat(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "stat")
+	st, done, err := c.FS.Stat(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return st, c.run(done, err)
 }
 
 // Chmod changes permissions.
 func (c *Client) Chmod(path string, mode vfs.Mode) error {
-	done, err := c.FS.Chmod(c.Clock.Now(), c.Env.Abs(path), mode)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "chmod")
+	done, err := c.FS.Chmod(now, c.Env.Abs(path), mode)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Chown changes ownership.
 func (c *Client) Chown(path string, uid, gid uint32) error {
-	done, err := c.FS.Chown(c.Clock.Now(), c.Env.Abs(path), uid, gid)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "chown")
+	done, err := c.FS.Chown(now, c.Env.Abs(path), uid, gid)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Utimes sets timestamps.
 func (c *Client) Utimes(path string) error {
 	now := c.Clock.Now()
+	ref := c.beginOp(now, "utimes")
 	done, err := c.FS.Utimes(now, c.Env.Abs(path), now, now)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Truncate changes a file's size.
 func (c *Client) Truncate(path string, size int64) error {
-	done, err := c.FS.Truncate(c.Clock.Now(), c.Env.Abs(path), size)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "truncate")
+	done, err := c.FS.Truncate(now, c.Env.Abs(path), size)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Access checks permissions.
 func (c *Client) Access(path string) error {
-	done, err := c.FS.Access(c.Clock.Now(), c.Env.Abs(path), vfs.AccessRead)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "access")
+	done, err := c.FS.Access(now, c.Env.Abs(path), vfs.AccessRead)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
 // Create makes a file (creat semantics).
 func (c *Client) Create(path string) (vfs.File, error) {
-	f, done, err := c.FS.Create(c.Clock.Now(), c.Env.Abs(path), 0o644)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "create")
+	f, done, err := c.FS.Create(now, c.Env.Abs(path), 0o644)
+	c.Tracer.End(ref, done)
 	return f, c.run(done, err)
 }
 
 // Open opens an existing file.
 func (c *Client) Open(path string) (vfs.File, error) {
-	f, done, err := c.FS.Open(c.Clock.Now(), c.Env.Abs(path))
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "open")
+	f, done, err := c.FS.Open(now, c.Env.Abs(path))
+	c.Tracer.End(ref, done)
 	return f, c.run(done, err)
 }
 
 // ReadFileAt reads from an open file, advancing the clock.
 func (c *Client) ReadFileAt(f vfs.File, off int64, buf []byte) (int, error) {
-	n, done, err := f.ReadAt(c.Clock.Now(), off, buf)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "read")
+	n, done, err := f.ReadAt(now, off, buf)
+	c.Tracer.End(ref, done)
 	return n, c.run(done, err)
 }
 
 // WriteFileAt writes to an open file, advancing the clock.
 func (c *Client) WriteFileAt(f vfs.File, off int64, data []byte) (int, error) {
-	n, done, err := f.WriteAt(c.Clock.Now(), off, data)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "write")
+	n, done, err := f.WriteAt(now, off, data)
+	c.Tracer.End(ref, done)
 	return n, c.run(done, err)
 }
 
 // Close closes an open file.
 func (c *Client) Close(f vfs.File) error {
-	done, err := f.Close(c.Clock.Now())
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "close")
+	done, err := f.Close(now)
+	c.Tracer.End(ref, done)
 	return c.run(done, err)
 }
 
-// WriteFile creates path with the given content and closes it.
+// WriteFile creates path with the given content and closes it. The three
+// syscalls trace as three root spans, not one composite.
 func (c *Client) WriteFile(path string, data []byte) error {
 	f, err := c.Create(path)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/netqueue"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/tracing"
 )
 
 // ClientNet overrides one client's wire characteristics: the per-client
@@ -87,6 +88,11 @@ type ClusterConfig struct {
 	// (docs/METRICS.md). 0 means DefaultTelemetryFanIn; negative disables
 	// sampling and registers every client.
 	TelemetryFanIn int
+	// Tracer, when non-nil, threads virtual-time span tracing through
+	// every client's stack and the shared hardware; root spans carry the
+	// issuing client's id (see docs/TRACING.md). The scheduler runs one
+	// client's syscall to completion per step, so one tracer serves all.
+	Tracer *tracing.Tracer
 }
 
 // DefaultTelemetryFanIn is the per-stratum client-source limit above which
@@ -134,6 +140,7 @@ func (c *ClusterConfig) base() Config {
 		Transport:         c.Transport,
 		Conns:             c.Conns,
 		WindowBytes:       c.WindowBytes,
+		Tracer:            c.Tracer,
 	}
 	b.fill()
 	c.DeviceBlocks = b.DeviceBlocks
@@ -220,6 +227,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.Net = base.network()
 		cl.nets = []*simnet.Network{cl.Net}
 	}
+	if cfg.Tracer != nil {
+		for _, n := range cl.nets {
+			n.SetTracer(cfg.Tracer)
+		}
+		cl.ServerCPU.SetTracer(cfg.Tracer, tracing.LayerCPUServer)
+	}
 
 	capacity := cfg.CapacityClients
 	if capacity == 0 {
@@ -238,10 +251,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				return nil, fmt.Errorf("testbed: cluster mkfs lun %d: %w", i, err)
 			}
 		}
+		if cfg.Tracer != nil && len(cl.luns) > 0 {
+			// The LUNs partition one shared array; one SetTracer covers it.
+			cl.luns[0].RAID().SetTracer(cfg.Tracer)
+		}
 	default:
 		cl.dev = blockdev.NewTestbedArray(base.DeviceBlocks)
 		if _, err := ext3.Mkfs(0, cl.dev, ext3.Options{CommitInterval: base.CommitInterval}); err != nil {
 			return nil, fmt.Errorf("testbed: cluster mkfs: %w", err)
+		}
+		if cfg.Tracer != nil {
+			cl.dev.RAID().SetTracer(cfg.Tracer)
 		}
 		cl.srv = &nfsServer{dev: cl.dev, cpu: cl.ServerCPU, cfg: base}
 		done, err := cl.srv.mount(0)
@@ -259,6 +279,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.Clients; i++ {
 		cpu := sim.NewCPU(1.0)
+		if cfg.Tracer != nil {
+			cpu.SetTracer(cfg.Tracer, tracing.LayerCPUClient)
+		}
 		h := hw{net: cl.ClientNetwork(i), cpu: cpu, cfg: base}
 		var st Stack
 		if cfg.Kind == ISCSI {
@@ -269,6 +292,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c := newClient(i, st)
 		c.CPU = cpu
+		c.Tracer = cfg.Tracer
 		// Clients boot once the server is up; mounts then contend for
 		// the shared segment and server CPU in client order.
 		c.Clock.AdvanceTo(serverReady)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpsim"
+	"repro/internal/tracing"
 	"repro/internal/vfs"
 )
 
@@ -69,6 +70,7 @@ func (h hw) clientFSOpts() ext3.Options {
 			PerOp:    30 * time.Microsecond,
 			PerBlock: 5 * time.Microsecond,
 		},
+		Tracer: h.cfg.Tracer,
 	}
 }
 
@@ -101,6 +103,7 @@ func (s *nfsServer) serverFSOpts() ext3.Options {
 			PerOp:    25 * time.Microsecond,
 			PerBlock: 4 * time.Microsecond,
 		},
+		Tracer: s.cfg.Tracer,
 	}
 }
 
@@ -202,6 +205,7 @@ func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
 		st.rpcBase.Add(st.rpc.Stats())
 	}
 	st.rpc = sunrpc.NewClient(st.hw.net, transport)
+	st.rpc.SetTracer(st.hw.cfg.Tracer)
 	if st.hw.cfg.Transport == TransportTCP {
 		if st.conn == nil || !st.conn.Established() {
 			if st.conn != nil {
@@ -217,6 +221,7 @@ func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
 		st.rpc.SetConn(st.conn)
 	}
 	st.client = nfs.NewClient(ver, st.rpc, st.srv.srv, st.hw.cpu)
+	st.client.SetTracer(st.hw.cfg.Tracer)
 	st.client.SetCacheCapacity(st.hw.cfg.ClientCacheBlocks)
 	done, err := st.client.Mount(now)
 	if err != nil {
@@ -258,6 +263,7 @@ func (st *nfsStack) ColdCache(now time.Duration) (time.Duration, error) {
 type iscsiEndpoint interface {
 	blockdev.Device
 	Login(at time.Duration) (time.Duration, error)
+	SetTracer(*tracing.Tracer)
 }
 
 // iscsiStack is one client's iSCSI session: an initiator (or MC/S session
@@ -329,6 +335,7 @@ func (st *iscsiStack) Mount(now time.Duration) (time.Duration, error) {
 	} else {
 		st.endpoint = iscsi.NewInitiator(st.hw.net, st.target, st.hw.cpu)
 	}
+	st.endpoint.SetTracer(st.hw.cfg.Tracer)
 	done, err := st.endpoint.Login(now)
 	if err != nil {
 		return now, fmt.Errorf("testbed: iscsi login: %w", err)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpsim"
+	"repro/internal/tracing"
 )
 
 // Kind selects the storage stack.
@@ -138,6 +139,10 @@ type Config struct {
 	// EmitSample streams the deltas (see docs/METRICS.md). Events are
 	// additionally tagged with the wire transport.
 	Metrics *metrics.Recorder
+	// Tracer, when non-nil, threads virtual-time span tracing through
+	// every layer: syscall roots, cache decisions, RPC/iSCSI exchanges,
+	// wire frames, CPU service and disk phases (see docs/TRACING.md).
+	Tracer *tracing.Tracer
 }
 
 func (c *Config) fill() {
@@ -237,6 +242,12 @@ func New(cfg Config) (*Testbed, error) {
 	serverCPU := sim.NewCPU(1.87) // 2 x 933 MHz
 
 	dev := blockdev.NewTestbedArray(cfg.DeviceBlocks)
+	if cfg.Tracer != nil {
+		net.SetTracer(cfg.Tracer)
+		clientCPU.SetTracer(cfg.Tracer, tracing.LayerCPUClient)
+		serverCPU.SetTracer(cfg.Tracer, tracing.LayerCPUServer)
+		dev.RAID().SetTracer(cfg.Tracer)
+	}
 	if _, err := ext3.Mkfs(0, dev, ext3.Options{CommitInterval: cfg.CommitInterval}); err != nil {
 		return nil, fmt.Errorf("testbed: mkfs: %w", err)
 	}
@@ -251,6 +262,7 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	c := newClient(0, st)
 	c.CPU = clientCPU
+	c.Tracer = cfg.Tracer
 	tb := &Testbed{
 		Client:    c,
 		Kind:      cfg.Kind,

@@ -1,0 +1,102 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace_event export: spans render as complete ("ph":"X") events in
+// the Trace Event Format that Perfetto and chrome://tracing load directly.
+// Each client becomes a process; each layer becomes a named thread track
+// inside it, ordered client-to-platter, so one operation reads as a
+// waterfall across the protocol stack.
+
+// chromeEvent is one trace_event object. Timestamps and durations are
+// microseconds (the format's unit), kept as float64 so sub-microsecond
+// virtual intervals survive.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// layerTID assigns each layer its fixed track index, in Layers order.
+var layerTID = func() map[string]int {
+	m := make(map[string]int, len(Layers))
+	for i, l := range Layers {
+		m[l] = i
+	}
+	return m
+}()
+
+// WriteChrome renders spans as Chrome trace_event JSON. Output is
+// deterministic: metadata events come first (sorted by pid then tid),
+// followed by one complete event per span in input order.
+func WriteChrome(w io.Writer, spans []Span) error {
+	tracks := make(map[[2]int]string) // (pid, tid) -> layer name
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		tid := layerTID[s.Layer]
+		tracks[[2]int{s.Client, tid}] = s.Layer
+		args := map[string]string{"id": strconv.FormatInt(s.ID, 10)}
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatInt(s.Parent, 10)
+		}
+		for k, v := range s.Tags {
+			args[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name: s.Op,
+			Cat:  s.Layer,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			PID:  s.Client,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	keys := make([][2]int, 0, len(tracks))
+	for k := range tracks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	meta := make([]chromeEvent, 0, len(keys)+len(tracks))
+	seenPID := make(map[int]bool)
+	for _, k := range keys {
+		if !seenPID[k[0]] {
+			seenPID[k[0]] = true
+			meta = append(meta, chromeEvent{
+				Name: "process_name", Ph: "M", PID: k[0],
+				Args: map[string]string{"name": "client " + strconv.Itoa(k[0])},
+			})
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: k[0], TID: k[1],
+			Args: map[string]string{"name": tracks[k]},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+	})
+}

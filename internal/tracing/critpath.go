@@ -1,0 +1,98 @@
+package tracing
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Attribution maps layer name to the virtual time billed to it.
+type Attribution map[string]time.Duration
+
+// Total sums the billed time across layers.
+func (a Attribution) Total() time.Duration {
+	var t time.Duration
+	for _, d := range a {
+		t += d
+	}
+	return t
+}
+
+// Add accumulates another attribution into a.
+func (a Attribution) Add(b Attribution) {
+	for l, d := range b {
+		a[l] += d
+	}
+}
+
+// Roots returns the root spans (Parent == 0) in ID order.
+func Roots(spans []Span) []Span {
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	return roots
+}
+
+// CriticalPath bills every nanosecond of the operation rooted at rootID to
+// exactly one layer: within a span's interval, time covered by a child is
+// billed (recursively) inside that child, and uncovered time is billed to
+// the span's own layer. Children are walked in start order (record order
+// breaking ties), each clipped to the time not already consumed by an
+// earlier sibling — so overlapping children (pipelined MC/S commands,
+// read-ahead) never double-bill. The attribution always sums exactly to
+// the root's End-Start.
+func CriticalPath(spans []Span, rootID int64) (Attribution, error) {
+	byID := make(map[int64]Span, len(spans))
+	children := make(map[int64][]Span)
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	root, ok := byID[rootID]
+	if !ok {
+		return nil, fmt.Errorf("tracing: no span with id %d", rootID)
+	}
+	for _, kids := range children {
+		kids := kids
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Start != kids[j].Start {
+				return kids[i].Start < kids[j].Start
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+	out := make(Attribution)
+	bill(out, children, root, root.Start, root.End)
+	return out, nil
+}
+
+// bill attributes the window [lo, hi) of span s: child-covered time
+// recurses, the rest lands on s.Layer. horizon tracks how far billing has
+// advanced, clipping each child to its unconsumed remainder.
+func bill(out Attribution, children map[int64][]Span, s Span, lo, hi time.Duration) {
+	horizon := lo
+	for _, c := range children[s.ID] {
+		cs, ce := c.Start, c.End
+		if cs < horizon {
+			cs = horizon
+		}
+		if ce > hi {
+			ce = hi
+		}
+		if ce <= cs {
+			continue
+		}
+		out[s.Layer] += cs - horizon
+		bill(out, children, c, cs, ce)
+		horizon = ce
+	}
+	if hi > horizon {
+		out[s.Layer] += hi - horizon
+	}
+}
