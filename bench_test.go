@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -571,4 +572,38 @@ func BenchmarkFleetScaling(b *testing.B) {
 	}
 	report(b, aggMBps, "iscsi-agg-MBps@10kc")
 	report(b, wallMs, "wall-ms@10kc")
+}
+
+// BenchmarkFault runs one server-crash recovery cell per stack on the
+// fluid wire and reports the client-visible time-to-recover — the
+// headline of the failure-and-recovery axis — plus the degraded-window
+// throughput that separates the two caching stories.
+func BenchmarkFault(b *testing.B) {
+	var nfsTTR, iscsiTTR, nfsDegr, iscsiDegr float64
+	for i := 0; i < b.N; i++ {
+		cells, err := core.RunFault(core.FaultConfig{
+			Families:   []fault.Family{fault.ServerCrash},
+			Stacks:     []core.Stack{core.NFSv3, core.ISCSI},
+			Transports: []testbed.Transport{testbed.TransportFluid},
+			Seed:       7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Collapsed {
+				b.Fatalf("%s/%s collapsed", c.Family, c.Label())
+			}
+			switch c.Stack {
+			case core.NFSv3:
+				nfsTTR, nfsDegr = float64(c.TTR.Milliseconds()), c.DegradedRate
+			case core.ISCSI:
+				iscsiTTR, iscsiDegr = float64(c.TTR.Milliseconds()), c.DegradedRate
+			}
+		}
+	}
+	report(b, nfsTTR, "nfs-crash-ttr-ms")
+	report(b, iscsiTTR, "iscsi-crash-ttr-ms")
+	report(b, nfsDegr, "nfs-degraded-ops/s")
+	report(b, iscsiDegr, "iscsi-degraded-ops/s")
 }

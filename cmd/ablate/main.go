@@ -10,16 +10,21 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
 func main() {
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)
+	}
+	if err := prof.Start(); err != nil {
+		die(err)
 	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -67,5 +72,8 @@ func main() {
 	}
 	if err != nil {
 		die(fmt.Errorf("metrics: %w", err))
+	}
+	if err := prof.Stop(); err != nil {
+		die(err)
 	}
 }

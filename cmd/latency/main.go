@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -21,25 +22,29 @@ func main() {
 	step := flag.Int("step", 20, "RTT step in ms (paper plots 10ms steps; 1..80)")
 	loss := flag.Float64("loss", 0, "frame loss rate in % (0..50)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
-	if *step < 1 || *step > 80 {
-		fmt.Fprintf(os.Stderr, "latency: -step %d out of range [1, 80]\n", *step)
-		os.Exit(2)
+	fatal := func(msg string) {
+		fmt.Fprintln(os.Stderr, "latency:", msg)
+		os.Exit(1)
 	}
-	if *sizeMB < 1 {
-		fmt.Fprintf(os.Stderr, "latency: -size %d must be at least 1 MB\n", *sizeMB)
-		os.Exit(2)
+	if err := cliutil.Int(*step, "step", 1, 80); err != nil {
+		fatal(err.Error())
 	}
-	if *loss < 0 || *loss > 50 {
-		fmt.Fprintf(os.Stderr, "latency: -loss %g out of range [0, 50]\n", *loss)
-		os.Exit(2)
+	if err := cliutil.Int(int(*sizeMB), "size", 1, 16384); err != nil {
+		fatal(err.Error())
+	}
+	if err := cliutil.Float(*loss, "loss", 0, cliutil.MaxLossPercent); err != nil {
+		fatal(err.Error())
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
 	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "latency:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 
 	var rtts []time.Duration
@@ -51,19 +56,19 @@ func main() {
 		Metrics:  metrics.NewRecorder(sink, metrics.Tags{"cmd": "latency"}),
 	}, *sizeMB<<20, rtts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "latency:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 	if *loss > 0 {
 		fmt.Printf("Figure 6 with %.1f%% frame loss injected on the WAN path\n\n", *loss)
 	}
 	core.RenderFigure6(os.Stdout, points)
-	if err := sink.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "latency: metrics:", err)
-		os.Exit(1)
+	if err := sink.Err(); err == nil {
+		err = closeSink()
 	}
-	if err := closeSink(); err != nil {
-		fmt.Fprintln(os.Stderr, "latency: metrics:", err)
-		os.Exit(1)
+	if err != nil {
+		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -26,11 +27,18 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "macrobench:", err)
 		os.Exit(1)
+	}
+	if err := cliutil.Float(*scale, "scale", 0.01, 100); err != nil {
+		die(err)
+	}
+	if err := prof.Start(); err != nil {
+		die(err)
 	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -93,5 +101,8 @@ func main() {
 	}
 	if err != nil {
 		die(fmt.Errorf("metrics: %w", err))
+	}
+	if err := prof.Stop(); err != nil {
+		die(err)
 	}
 }

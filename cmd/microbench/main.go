@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -28,11 +29,25 @@ func main() {
 	all := flag.Bool("all", false, "run every micro-benchmark")
 	check := flag.Bool("check", false, "run paper-shape conformance checks on the tables")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "microbench:", err)
 		os.Exit(1)
+	}
+	if *table != 0 {
+		if err := cliutil.Int(*table, "table", 2, 3); err != nil {
+			die(err)
+		}
+	}
+	if *figure != 0 {
+		if err := cliutil.Int(*figure, "figure", 3, 5); err != nil {
+			die(err)
+		}
+	}
+	if err := prof.Start(); err != nil {
+		die(err)
 	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -72,6 +87,10 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "microbench: metrics:", err)
+			fails++
+		}
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "microbench:", err)
 			fails++
 		}
 		if fails > 0 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -15,26 +16,37 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "scale factor for pool/transactions (1.0 = paper)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
+	fatal := func(msg string) {
+		fmt.Fprintln(os.Stderr, "postmark:", msg)
+		os.Exit(1)
+	}
+	if err := cliutil.Float(*scale, "scale", 0.01, 100); err != nil {
+		fatal(err.Error())
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "postmark:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 	rows, err := core.RunTable5(core.Options{
 		Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "postmark"}),
 	}, core.MacroScale(*scale))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "postmark:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 	core.RenderTable5(os.Stdout, rows)
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "postmark: metrics:", err)
-		os.Exit(1)
+		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }

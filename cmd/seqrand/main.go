@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -15,26 +16,37 @@ import (
 func main() {
 	sizeMB := flag.Int64("size", 128, "file size in MB (paper: 128)")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
+	fatal := func(msg string) {
+		fmt.Fprintln(os.Stderr, "seqrand:", msg)
+		os.Exit(1)
+	}
+	if err := cliutil.Int(int(*sizeMB), "size", 1, 16384); err != nil {
+		fatal(err.Error())
+	}
+	if err := prof.Start(); err != nil {
+		fatal(err.Error())
+	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqrand:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 	rows, err := core.RunTable4(core.Options{
 		Metrics: metrics.NewRecorder(sink, metrics.Tags{"cmd": "seqrand"}),
 	}, *sizeMB<<20)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqrand:", err)
-		os.Exit(1)
+		fatal(err.Error())
 	}
 	core.RenderTable4(os.Stdout, rows)
 	if err := sink.Err(); err == nil {
 		err = closeSink()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seqrand: metrics:", err)
-		os.Exit(1)
+		fatal("metrics: " + err.Error())
+	}
+	if err := prof.Stop(); err != nil {
+		fatal(err.Error())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/cliutil"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -20,11 +21,16 @@ func main() {
 	enhance := flag.Bool("enhance", false, "meta-data cache and delegation simulation")
 	all := flag.Bool("all", false, "run both")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
+	prof := cliutil.ProfileFlags()
 	flag.Parse()
 
 	if !*figure7 && !*enhance && !*all {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
 	}
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
@@ -81,6 +87,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracesim: metrics:", err)
+		os.Exit(1)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
 		os.Exit(1)
 	}
 }

@@ -85,6 +85,14 @@ func Int(n int, flag string, min, max int) error {
 	return nil
 }
 
+// Float validates a single float flag value against [min, max].
+func Float(v float64, flag string, min, max float64) error {
+	if v < min || v > max {
+		return fmt.Errorf("bad -%s value %g (range %g..%g)", flag, v, min, max)
+	}
+	return nil
+}
+
 // Floats parses a comma-separated float list, requiring every value in
 // [min, max] and at least one value.
 func Floats(list, flag string, min, max float64) ([]float64, error) {

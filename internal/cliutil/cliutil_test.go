@@ -19,6 +19,17 @@ func TestInts(t *testing.T) {
 	}
 }
 
+func TestFloat(t *testing.T) {
+	if err := Float(12.5, "loss", 0, MaxLossPercent); err != nil {
+		t.Fatalf("Float(12.5): %v", err)
+	}
+	for _, bad := range []float64{-0.1, 50.01} {
+		if err := Float(bad, "loss", 0, MaxLossPercent); err == nil {
+			t.Errorf("Float(%g) accepted", bad)
+		}
+	}
+}
+
 func TestClientCounts(t *testing.T) {
 	got, err := ClientCounts("1,16,128", false)
 	if err != nil || len(got) != 3 {

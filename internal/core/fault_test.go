@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+// TestFaultSweepShape runs the full family set on two stacks and checks
+// the sweep-level acceptance bar: every cell recovers, reports a
+// positive TTR and degraded throughput below the fault-free rate, the
+// cells come out in deterministic axis order, and the rendered table
+// names every family.
+func TestFaultSweepShape(t *testing.T) {
+	cfg := FaultConfig{
+		Stacks:     []Stack{NFSv3, ISCSI},
+		Transports: []testbed.Transport{testbed.TransportFluid},
+		Seed:       5,
+	}
+	cells, err := RunFault(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(fault.Families)*2 {
+		t.Fatalf("%d cells, want %d", len(cells), len(fault.Families)*2)
+	}
+	for _, c := range cells {
+		name := string(c.Family) + "/" + c.Label()
+		if c.Collapsed {
+			t.Errorf("%s: collapsed", name)
+			continue
+		}
+		if c.TTR <= 0 {
+			t.Errorf("%s: ttr=%v", name, c.TTR)
+		}
+		if c.DegradedRate >= c.PreRate {
+			t.Errorf("%s: no degradation: pre=%.1f degraded=%.1f", name, c.PreRate, c.DegradedRate)
+		}
+		if c.Family == fault.DiskFail && c.RebuildBlocks == 0 {
+			t.Errorf("%s: rebuild moved no blocks", name)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderFault(&buf, cells)
+	out := buf.String()
+	for _, f := range fault.Families {
+		if !strings.Contains(out, string(f)) {
+			t.Errorf("render omits family %s:\n%s", f, out)
+		}
+	}
+}
+
+// TestFaultSweepDeterministicStream reruns one cell configuration and
+// demands byte-identical experiment=fault telemetry.
+func TestFaultSweepDeterministicStream(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		cfg := FaultConfig{
+			Families:   []fault.Family{fault.ServerCrash, fault.LinkFlap},
+			Stacks:     []Stack{ISCSI},
+			Transports: []testbed.Transport{testbed.TransportTCP},
+			Seed:       9,
+			Metrics:    metrics.NewRecorder(metrics.NewSink(&buf), metrics.Tags{"cmd": "fault"}),
+		}
+		if _, err := RunFault(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fault telemetry not deterministic: %d vs %d bytes", len(a), len(b))
+	}
+	if !bytes.Contains(a, []byte(`"experiment":"fault"`)) {
+		t.Fatalf("stream missing experiment=fault tag")
+	}
+}

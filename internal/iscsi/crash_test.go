@@ -1,0 +1,44 @@
+package iscsi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scsi"
+)
+
+func TestTargetCrashRejectsUntilRestartAndRelogin(t *testing.T) {
+	ini, target, _ := rig(t)
+	if !target.LoggedIn() {
+		t.Fatal("rig not logged in")
+	}
+
+	target.Crash()
+	if !target.Down() || target.LoggedIn() {
+		t.Fatal("crash left target serving or logged in")
+	}
+	// Commands and logins both bounce while the machine is down.
+	if _, err := ini.ReadBlocks(0, 0, make([]byte, 4096)); err == nil {
+		t.Fatal("read against a crashed target succeeded")
+	}
+	if _, err := ini.Login(time.Second); err == nil {
+		t.Fatal("login against a crashed target succeeded")
+	}
+
+	target.Restart()
+	if target.Down() {
+		t.Fatal("restart left target down")
+	}
+	// Session state died with the target: commands need a fresh login.
+	req := &PDU{Opcode: OpSCSICommand, Flags: FlagFinal, ITT: 1, CDB: scsi.TestUnitReady().Encode()}
+	if resp, _ := target.HandleCommand(2*time.Second, req); resp.Status == scsi.StatusGood {
+		t.Fatal("command accepted before re-login")
+	}
+	done, err := ini.Login(3 * time.Second)
+	if err != nil {
+		t.Fatalf("re-login after restart: %v", err)
+	}
+	if _, err := ini.ReadBlocks(done, 0, make([]byte, 4096)); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}

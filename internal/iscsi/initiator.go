@@ -124,6 +124,9 @@ func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
 	if !ok || resp == nil {
 		return done, fmt.Errorf("iscsi: login failed (network loss): %w", simnet.ErrTransportBroken)
 	}
+	if resp.Status != scsi.StatusGood {
+		return done, fmt.Errorf("iscsi: login rejected: %s", resp.Data)
+	}
 	i.loggedIn = true
 	i.expStatSN = resp.StatSN
 

@@ -58,6 +58,28 @@ func NewSession(net *simnet.Network, target *Target, cpu *sim.CPU, nConns int, t
 // Conns reports the connection count.
 func (s *Session) Conns() int { return len(s.conns) }
 
+// Abort severs every connection in the session — the target crashed or
+// reset them (fault injection). The session needs a fresh login (a new
+// Session) afterwards, like a real MC/S initiator recovering a dropped
+// session.
+func (s *Session) Abort() {
+	for _, c := range s.conns {
+		c.Break()
+	}
+	s.loggedIn = false
+}
+
+// Broken reports whether every connection in the session has died —
+// fault recovery uses it to decide a remount is needed.
+func (s *Session) Broken() bool {
+	for _, c := range s.conns {
+		if c.Established() {
+			return false
+		}
+	}
+	return true
+}
+
 // Counters exports session-level counters for the metrics event stream
 // (metrics.SubsysISCSI): SCSI commands issued (CmdSN-numbered, so MC/S
 // striped sub-commands count individually). The per-connection TCP
@@ -71,8 +93,12 @@ func (s *Session) SetCosts(c CostModel) { s.cost = c }
 
 // SetTracer attaches a tracer. Synchronous commands become enclosing
 // tracing.LayerISCSI spans; striped MC/S sub-commands — whose pipelines
-// interleave and complete out of issue order — are recorded as completed
-// spans at status time, so they never violate the tracer's LIFO stack.
+// interleave and complete out of issue order — become detached command
+// spans opened at issue time, with each synchronous pipeline step
+// bracketed by Enter/Exit so the TCP, link, queue, CPU and disk spans it
+// causes nest under the covering command. Critical-path attribution
+// therefore breaks iSCSI-over-TCP ops down per layer, same as the fluid
+// initiator path.
 func (s *Session) SetTracer(t *tracing.Tracer) { s.tracer = t }
 
 // Stats returns the TCP counters aggregated across all connections.
@@ -120,6 +146,9 @@ func (s *Session) Login(at time.Duration) (time.Duration, error) {
 	if !ok {
 		return reply, fmt.Errorf("iscsi: login reply transport failed: %w", simnet.ErrTransportBroken)
 	}
+	if resp.Status != scsi.StatusGood {
+		return reply, fmt.Errorf("iscsi: login rejected: %s", resp.Data)
+	}
 	s.loggedIn = true
 	s.expStatSN = resp.StatSN
 
@@ -152,13 +181,17 @@ func (s *Session) command(ci int, at time.Duration, cdb scsi.CDB, data []byte, e
 	at = s.charge(at, s.cost.PerCommand+time.Duration((len(data)+expectIn)/1024)*s.cost.PerKB)
 	ref := s.tracer.Begin(at, tracing.LayerISCSI, opName(cdb.Op))
 	s.net.CountMessage()
+	leg := s.tracer.Begin(at, tracing.LayerTCP, "request")
 	arrive, ok := s.conns[ci].Transfer(at, req.WireSize(), simnet.ClientToServer)
+	s.tracer.End(leg, arrive)
 	if !ok {
 		s.tracer.End(ref, arrive)
 		return arrive, nil, false
 	}
 	resp, svcDone := s.target.HandleCommand(arrive, req)
+	leg = s.tracer.Begin(svcDone, tracing.LayerTCP, "response")
 	reply, ok := s.conns[ci].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	s.tracer.End(leg, reply)
 	s.tracer.End(ref, reply)
 	if !ok || resp.Status != scsi.StatusGood {
 		return reply, resp.Data, false
@@ -277,7 +310,8 @@ type rdPipe struct {
 	cmds  []stripe
 	i     int
 	at    time.Duration
-	issue time.Duration // current sub-command's post-charge issue time
+	cspan tracing.SpanRef // current sub-command's detached iscsi span
+	tspan tracing.SpanRef // current Data-In phase's detached tcp span
 	xfer  *tcpsim.Transfer
 	resp  *PDU
 	err   error
@@ -301,35 +335,51 @@ func (p *rdPipe) step() {
 		req := s.nextPDU(scsi.Read10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), nil, cmd.blocks*p.bs)
 		// Full command CPU demand at issue (see command for why).
 		at := s.charge(p.at, s.cost.PerCommand+time.Duration(cmd.blocks*p.bs/1024)*s.cost.PerKB)
-		p.issue = at
+		// The covering command span opens at issue and closes at status
+		// time; everything this step causes nests under it.
+		p.cspan = s.tracer.BeginDetached(at, tracing.LayerISCSI, "read10")
+		s.tracer.Enter(p.cspan)
+		defer s.tracer.Exit(p.cspan)
 		s.net.CountMessage()
+		leg := s.tracer.Begin(at, tracing.LayerTCP, "request")
 		arrive, ok := p.conn.Transfer(at, req.WireSize(), simnet.ClientToServer)
+		s.tracer.End(leg, arrive)
 		if !ok {
 			p.err = fmt.Errorf("iscsi: READ(10) request transport failed at lba=%d: %w", p.lba+int64(cmd.blockOff), simnet.ErrTransportBroken)
+			s.tracer.EndDetached(p.cspan, arrive)
 			return
 		}
 		resp, svcDone := s.target.HandleCommand(arrive, req)
 		if resp.Status != scsi.StatusGood {
 			p.err = fmt.Errorf("iscsi: READ(10) failed at lba=%d: %s", p.lba+int64(cmd.blockOff), string(resp.Data))
+			s.tracer.EndDetached(p.cspan, svcDone)
 			return
 		}
 		p.resp = resp
+		p.tspan = s.tracer.BeginDetached(svcDone, tracing.LayerTCP, "data-in")
 		p.xfer = p.conn.StartTransfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
 		return
 	}
+	s.tracer.Enter(p.cspan)
+	defer s.tracer.Exit(p.cspan)
+	s.tracer.Enter(p.tspan)
 	p.xfer.Step()
 	if !p.xfer.Done() {
+		s.tracer.Exit(p.tspan)
 		return
 	}
+	s.tracer.EndDetached(p.tspan, p.xfer.Delivered())
+	s.tracer.Exit(p.tspan)
 	if p.xfer.Failed() {
 		p.err = fmt.Errorf("iscsi: Data-In transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
+		s.tracer.EndDetached(p.cspan, p.xfer.Delivered())
 		return
 	}
 	cmd := p.cmds[p.i]
 	copy(p.buf[cmd.blockOff*p.bs:], p.resp.Data)
 	s.expStatSN = p.resp.StatSN
 	done := p.xfer.Delivered()
-	s.tracer.Record(p.issue, done, tracing.LayerISCSI, "read10")
+	s.tracer.EndDetached(p.cspan, done)
 	p.at = done
 	if done > p.end {
 		p.end = done
@@ -379,7 +429,8 @@ type wrPipe struct {
 	cmds  []stripe
 	i     int
 	at    time.Duration
-	issue time.Duration // current sub-command's post-charge issue time
+	cspan tracing.SpanRef // current sub-command's detached iscsi span
+	tspan tracing.SpanRef // current Data-Out phase's detached tcp span
 	xfer  *tcpsim.Transfer
 	req   *PDU
 	err   error
@@ -403,31 +454,46 @@ func (p *wrPipe) step() {
 		payload := p.data[cmd.blockOff*p.bs : (cmd.blockOff+cmd.blocks)*p.bs]
 		p.req = s.nextPDU(scsi.Write10(uint32(p.lba+int64(cmd.blockOff)), uint16(cmd.blocks)), payload, 0)
 		at := s.charge(p.at, s.cost.PerCommand+time.Duration(len(payload)/1024)*s.cost.PerKB)
-		p.issue = at
+		// Covering command span at issue; see rdPipe.step.
+		p.cspan = s.tracer.BeginDetached(at, tracing.LayerISCSI, "write10")
+		s.tracer.Enter(p.cspan)
+		p.tspan = s.tracer.BeginDetached(at, tracing.LayerTCP, "data-out")
+		s.tracer.Exit(p.cspan)
 		s.net.CountMessage()
 		p.xfer = p.conn.StartTransfer(at, p.req.WireSize(), simnet.ClientToServer)
 		return
 	}
+	s.tracer.Enter(p.cspan)
+	defer s.tracer.Exit(p.cspan)
+	s.tracer.Enter(p.tspan)
 	p.xfer.Step()
 	if !p.xfer.Done() {
+		s.tracer.Exit(p.tspan)
 		return
 	}
+	s.tracer.EndDetached(p.tspan, p.xfer.Delivered())
+	s.tracer.Exit(p.tspan)
 	if p.xfer.Failed() {
 		p.err = fmt.Errorf("iscsi: Data-Out transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
+		s.tracer.EndDetached(p.cspan, p.xfer.Delivered())
 		return
 	}
 	resp, svcDone := s.target.HandleCommand(p.xfer.Delivered(), p.req)
 	if resp.Status != scsi.StatusGood {
 		p.err = fmt.Errorf("iscsi: WRITE(10) failed at lba=%d: %s", p.lba+int64(p.cmds[p.i].blockOff), string(resp.Data))
+		s.tracer.EndDetached(p.cspan, svcDone)
 		return
 	}
+	leg := s.tracer.Begin(svcDone, tracing.LayerTCP, "status")
 	reply, ok := p.conn.Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
+	s.tracer.End(leg, reply)
 	if !ok {
 		p.err = fmt.Errorf("iscsi: status transport failed at lba=%d: %w", p.lba+int64(p.cmds[p.i].blockOff), simnet.ErrTransportBroken)
+		s.tracer.EndDetached(p.cspan, reply)
 		return
 	}
 	s.expStatSN = resp.StatSN
-	s.tracer.Record(p.issue, reply, tracing.LayerISCSI, "write10")
+	s.tracer.EndDetached(p.cspan, reply)
 	p.at = reply
 	if reply > p.end {
 		p.end = reply

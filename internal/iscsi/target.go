@@ -35,6 +35,7 @@ type Target struct {
 	statSN   uint32
 	expCmdSN uint32
 	loggedIn bool
+	down     bool
 	// FailCommands injects CHECK CONDITION on every command when set.
 	FailCommands bool
 }
@@ -51,6 +52,28 @@ func (t *Target) SetCosts(c CostModel) { t.cost = c }
 // Device exposes the backing device (tests use it to corrupt/verify bytes).
 func (t *Target) Device() *blockdev.Local { return t.dev }
 
+// Crash models target power loss: the machine stops serving and every
+// piece of volatile session state — logins, command sequence windows —
+// vanishes. The backing device (and anything it committed) survives.
+// Commands and logins fail until Restart; after Restart initiators must
+// log in again before the target accepts commands.
+func (t *Target) Crash() {
+	t.down = true
+	t.loggedIn = false
+	t.statSN = 0
+	t.expCmdSN = 0
+}
+
+// Restart brings a crashed target back into service (sessions stay gone).
+func (t *Target) Restart() { t.down = false }
+
+// Down reports whether the target is crashed.
+func (t *Target) Down() bool { return t.down }
+
+// LoggedIn reports whether an initiator currently holds a session (fault
+// recovery uses it to detect logins a target crash invalidated).
+func (t *Target) LoggedIn() bool { return t.loggedIn }
+
 // charge runs CPU demand and returns the completion time.
 func (t *Target) charge(at time.Duration, d time.Duration) time.Duration {
 	if t.cpu == nil {
@@ -59,8 +82,12 @@ func (t *Target) charge(at time.Duration, d time.Duration) time.Duration {
 	return t.cpu.Run(at, d)
 }
 
-// HandleLogin processes a login request PDU and returns the response.
+// HandleLogin processes a login request PDU and returns the response (a
+// CHECK CONDITION reject while the target is crashed).
 func (t *Target) HandleLogin(at time.Duration, req *PDU) (*PDU, time.Duration) {
+	if t.down {
+		return t.check(req, "target: down"), at
+	}
 	done := t.charge(at, t.cost.PerCommand)
 	t.loggedIn = true
 	t.statSN++
@@ -77,6 +104,9 @@ func (t *Target) HandleLogin(at time.Duration, req *PDU) (*PDU, time.Duration) {
 // HandleCommand executes one SCSI command PDU and returns the response PDU
 // (with inline Data-In payload for reads) and the service completion time.
 func (t *Target) HandleCommand(at time.Duration, req *PDU) (*PDU, time.Duration) {
+	if t.down {
+		return t.check(req, "target: down"), at
+	}
 	if !t.loggedIn {
 		return t.check(req, "target: command before login"), at
 	}

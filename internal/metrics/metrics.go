@@ -74,6 +74,12 @@ type DiskStats struct {
 	BlocksRead int64
 	BlocksWrit int64
 	Seeks      int64
+	// DegradedReads counts logical reads served by parity reconstruction
+	// while the array runs with a failed member; RebuildBlocks counts the
+	// blocks moved by rebuild traffic (surviving-member reads plus
+	// replacement writes). Both stay zero on a healthy array.
+	DegradedReads int64
+	RebuildBlocks int64
 }
 
 // Add accumulates o into s.
@@ -83,16 +89,20 @@ func (s *DiskStats) Add(o DiskStats) {
 	s.BlocksRead += o.BlocksRead
 	s.BlocksWrit += o.BlocksWrit
 	s.Seeks += o.Seeks
+	s.DegradedReads += o.DegradedReads
+	s.RebuildBlocks += o.RebuildBlocks
 }
 
 // Sub returns s - o.
 func (s DiskStats) Sub(o DiskStats) DiskStats {
 	return DiskStats{
-		Reads:      s.Reads - o.Reads,
-		Writes:     s.Writes - o.Writes,
-		BlocksRead: s.BlocksRead - o.BlocksRead,
-		BlocksWrit: s.BlocksWrit - o.BlocksWrit,
-		Seeks:      s.Seeks - o.Seeks,
+		Reads:         s.Reads - o.Reads,
+		Writes:        s.Writes - o.Writes,
+		BlocksRead:    s.BlocksRead - o.BlocksRead,
+		BlocksWrit:    s.BlocksWrit - o.BlocksWrit,
+		Seeks:         s.Seeks - o.Seeks,
+		DegradedReads: s.DegradedReads - o.DegradedReads,
+		RebuildBlocks: s.RebuildBlocks - o.RebuildBlocks,
 	}
 }
 
@@ -107,5 +117,7 @@ func (s DiskStats) Counters() map[string]int64 {
 		"blocks_read":    s.BlocksRead,
 		"blocks_written": s.BlocksWrit,
 		"seeks":          s.Seeks,
+		"degraded_reads": s.DegradedReads,
+		"rebuild_blocks": s.RebuildBlocks,
 	}
 }

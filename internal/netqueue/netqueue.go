@@ -185,6 +185,26 @@ type Link struct {
 	lanes [2]lane
 	neps  int
 	bg    [2]int64 // fluid background load, bytes/sec per direction
+
+	// outageFrom/outageUntil delimit a scheduled partition window
+	// (SetOutage); zero values mean no outage.
+	outageFrom, outageUntil time.Duration
+}
+
+// SetOutage schedules a partition of the bottleneck: every droppable
+// frame admitted in [from, until) is dropped at the queue (counted as a
+// queue drop), while assured control frames still pass. Like
+// simnet.Network.SetOutage, the window is part of the timeline — a
+// retransmission ladder spanning the outage recovers at exactly `until`,
+// and the post-heal retransmission burst then drains through the queue's
+// ordinary service model. A zero window (the default) disables it.
+func (l *Link) SetOutage(from, until time.Duration) {
+	l.outageFrom, l.outageUntil = from, until
+}
+
+// Outage reports the scheduled partition window.
+func (l *Link) Outage() (from, until time.Duration) {
+	return l.outageFrom, l.outageUntil
 }
 
 // SetBackground declares closed-form fluid background load on the pipe:
@@ -319,6 +339,11 @@ func (ln *lane) active(now time.Duration, id int) int {
 func (l *Link) admit(now time.Duration, size, id int, d Direction, droppable bool) (time.Duration, bool) {
 	ln := &l.lanes[d]
 	backlog := ln.prune(now)
+	if droppable && now >= l.outageFrom && now < l.outageUntil {
+		ln.stats.QueueDrops++
+		ln.stats.DropBytes += int64(size)
+		return now, false
+	}
 	if droppable && backlog > 0 && backlog+int64(size) > int64(l.cfg.QueueBytes) {
 		ln.stats.QueueDrops++
 		ln.stats.DropBytes += int64(size)

@@ -24,6 +24,15 @@ type RAID5 struct {
 	writebackOn bool // controller write-back cache absorbs some latency
 	tracer      *tracing.Tracer
 
+	// Degraded-mode state: failed is the dead member (-1 = healthy).
+	// While a member is failed, reads touching it reconstruct from the
+	// surviving members' parity and writes skip it; RebuildStep drives
+	// the replacement's reconstruction traffic through the same arms as
+	// foreground I/O, so rebuild and service compete for the spindles.
+	failed     int
+	rebuildRow int64 // next stripe row RebuildStep will reconstruct
+	rebuilding bool
+
 	// streamTails tracks the ends of recent write streams; appends that
 	// continue any tracked stream merge in NVRAM and destage without
 	// read-modify-write (journal appends interleaved with data flushes
@@ -41,7 +50,7 @@ func NewRAID5(members int, p Params, stripeUnitBlocks int) (*RAID5, error) {
 	if stripeUnitBlocks <= 0 {
 		stripeUnitBlocks = 8 // 32 KB stripe units on 4 KB blocks
 	}
-	r := &RAID5{stripeUnit: stripeUnitBlocks, writebackOn: true}
+	r := &RAID5{stripeUnit: stripeUnitBlocks, writebackOn: true, failed: -1}
 	for i := 0; i < members; i++ {
 		r.disks = append(r.disks, NewDisk(p))
 	}
@@ -168,7 +177,29 @@ func (r *RAID5) Read(start time.Duration, lba int64, blocks int) (done time.Dura
 	r.stats.Reads++
 	r.stats.BlocksRead += int64(blocks)
 	done = start
+	op := "read"
 	for _, run := range r.split(lba, blocks) {
+		if run.disk == r.failed {
+			// Degraded read: the data lives on the dead member, so the
+			// same physical extent is read from every surviving member
+			// and XOR-reconstructed — the (n-1)-fold amplification
+			// Dagenais measures on real Linux RAID.
+			r.stats.DegradedReads++
+			op = "read_degraded"
+			for i := range r.disks {
+				if i == r.failed {
+					continue
+				}
+				t, err := r.disks[i].IO(start, run.plba, run.blocks, false)
+				if err != nil {
+					return start, err
+				}
+				if t > done {
+					done = t
+				}
+			}
+			continue
+		}
 		t, err := r.disks[run.disk].IO(start, run.plba, run.blocks, false)
 		if err != nil {
 			return start, err
@@ -177,7 +208,7 @@ func (r *RAID5) Read(start time.Duration, lba int64, blocks int) (done time.Dura
 			done = t
 		}
 	}
-	r.tracer.Record(start, done, tracing.LayerDisk, "read")
+	r.tracer.Record(start, done, tracing.LayerDisk, op)
 	return done, nil
 }
 
@@ -232,12 +263,14 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 		// reads.
 		seen := make(map[int64]bool)
 		for _, run := range runs {
-			t, err := r.disks[run.disk].IO(start, run.plba, run.blocks, true)
-			if err != nil {
-				return start, err
-			}
-			if t > mechDone {
-				mechDone = t
+			if run.disk != r.failed {
+				t, err := r.disks[run.disk].IO(start, run.plba, run.blocks, true)
+				if err != nil {
+					return start, err
+				}
+				if t > mechDone {
+					mechDone = t
+				}
 			}
 			first := run.stripe
 			last := (run.plba + int64(run.blocks) - 1) / su
@@ -247,6 +280,9 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 				}
 				seen[s] = true
 				pd := r.parityDisk(s)
+				if pd == r.failed {
+					continue // parity for this row died with the member
+				}
 				t, err := r.disks[pd].IO(start, s*su, r.stripeUnit, true)
 				if err != nil {
 					return start, err
@@ -258,9 +294,43 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 		}
 	} else {
 		// Partial-stripe write: read old data + old parity, write new data
-		// + new parity.
+		// + new parity. A failed data member turns the pre-read into a
+		// reconstruct-write (read every surviving member, recompute
+		// parity, no data write); a failed parity member skips the
+		// parity update entirely — the data write alone suffices.
 		parityDone := make(map[int64]bool)
 		for _, run := range runs {
+			if run.disk == r.failed {
+				var rd time.Duration
+				for i := range r.disks {
+					if i == r.failed {
+						continue
+					}
+					t, err := r.disks[i].IO(start, run.plba, run.blocks, false)
+					if err != nil {
+						return start, err
+					}
+					if t > rd {
+						rd = t
+					}
+				}
+				first := run.stripe
+				last := (run.plba + int64(run.blocks) - 1) / su
+				for s := first; s <= last; s++ {
+					if parityDone[s] {
+						continue
+					}
+					parityDone[s] = true
+					pwr, err := r.disks[r.parityDisk(s)].IO(rd, s*su, r.stripeUnit, true)
+					if err != nil {
+						return start, err
+					}
+					if pwr > mechDone {
+						mechDone = pwr
+					}
+				}
+				continue
+			}
 			rd, err := r.disks[run.disk].IO(start, run.plba, run.blocks, false)
 			if err != nil {
 				return start, err
@@ -279,6 +349,10 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 					continue
 				}
 				pd := r.parityDisk(s)
+				if pd == r.failed {
+					parityDone[s] = true
+					continue
+				}
 				prd, err := r.disks[pd].IO(start, s*su, r.stripeUnit, false)
 				if err != nil {
 					return start, err
@@ -313,4 +387,104 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 	// backlog throttle), not the background destage.
 	r.tracer.Record(start, done, tracing.LayerDisk, op)
 	return done, nil
+}
+
+// ---- member failure and rebuild ----
+
+// FailDisk kills one member: until the rebuild completes, reads touching
+// it reconstruct from parity across the surviving members and writes skip
+// it. A second concurrent failure would lose data, so it is rejected.
+func (r *RAID5) FailDisk(member int) error {
+	if member < 0 || member >= len(r.disks) {
+		return fmt.Errorf("simdisk: RAID-5 has no member %d", member)
+	}
+	if r.failed >= 0 {
+		return fmt.Errorf("simdisk: RAID-5 already degraded (member %d failed)", r.failed)
+	}
+	r.failed = member
+	r.rebuilding = false
+	return nil
+}
+
+// Degraded reports whether the array is running with a failed member.
+func (r *RAID5) Degraded() bool { return r.failed >= 0 }
+
+// FailedMember returns the dead member index, or -1 when healthy.
+func (r *RAID5) FailedMember() int { return r.failed }
+
+// StartRebuild installs a hot-spare replacement for the failed member and
+// arms the rebuild cursor at row zero. The reconstruction traffic itself
+// is driven by RebuildStep so its competition with foreground I/O happens
+// in scheduled virtual time; the array stays degraded (reads keep
+// reconstructing) until the rebuild finishes.
+func (r *RAID5) StartRebuild() error {
+	if r.failed < 0 {
+		return fmt.Errorf("simdisk: RAID-5 rebuild on a healthy array")
+	}
+	r.rebuilding = true
+	r.rebuildRow = 0
+	return nil
+}
+
+// rebuildRows is the member row count a full rebuild must reconstruct.
+func (r *RAID5) rebuildRows() int64 { return r.disks[0].p.Blocks / int64(r.stripeUnit) }
+
+// Rebuilding reports whether a rebuild is in progress.
+func (r *RAID5) Rebuilding() bool { return r.rebuilding }
+
+// RebuildProgress reports the rebuilt fraction of the replacement member,
+// 0..1 (1 when healthy).
+func (r *RAID5) RebuildProgress() float64 {
+	if r.failed < 0 {
+		return 1
+	}
+	if !r.rebuilding {
+		return 0
+	}
+	return float64(r.rebuildRow) / float64(r.rebuildRows())
+}
+
+// RebuildStep reconstructs up to rows stripe rows starting at start: each
+// row is read from every surviving member and the XOR written to the
+// replacement, through the same arm resources foreground I/O uses — so a
+// busy array slows the rebuild and the rebuild steals service time from
+// foreground requests, the contention Dagenais' RAID study measures.
+// It returns the completion time of the last row and whether the rebuild
+// is finished (the array then leaves degraded mode).
+func (r *RAID5) RebuildStep(start time.Duration, rows int) (done time.Duration, finished bool, err error) {
+	if !r.rebuilding {
+		return start, r.failed < 0, nil
+	}
+	su := int64(r.stripeUnit)
+	total := r.rebuildRows()
+	done = start
+	for n := 0; n < rows && r.rebuildRow < total; n++ {
+		row := r.rebuildRow
+		readDone := done
+		for i := range r.disks {
+			if i == r.failed {
+				continue
+			}
+			t, err := r.disks[i].IO(done, row*su, r.stripeUnit, false)
+			if err != nil {
+				return done, false, err
+			}
+			if t > readDone {
+				readDone = t
+			}
+		}
+		t, err := r.disks[r.failed].IO(readDone, row*su, r.stripeUnit, true)
+		if err != nil {
+			return done, false, err
+		}
+		done = t
+		r.stats.RebuildBlocks += int64(len(r.disks)) * int64(r.stripeUnit)
+		r.rebuildRow++
+	}
+	if r.rebuildRow >= total {
+		r.rebuilding = false
+		r.failed = -1
+		return done, true, nil
+	}
+	return done, false, nil
 }

@@ -84,6 +84,10 @@ type Network struct {
 	rng    *rand.Rand
 	stats  metrics.NetStats
 	tracer *tracing.Tracer
+
+	// outageFrom/outageUntil delimit a scheduled partition window
+	// (SetOutage); zero values mean no outage.
+	outageFrom, outageUntil time.Duration
 }
 
 // New creates a network with the given configuration.
@@ -156,6 +160,30 @@ func (n *Network) SetLossRate(p float64) { n.cfg.LossRate = p }
 
 // LossRate reports the configured frame loss probability.
 func (n *Network) LossRate() float64 { return n.cfg.LossRate }
+
+// SetOutage schedules a link partition in virtual time: every droppable
+// frame whose transmission starts in [from, until) is lost, regardless of
+// the configured loss rate. Control traffic (mounts, connection setup)
+// still passes — the partition models a black-holed data path, and fault
+// recovery needs to re-establish state through it afterwards. Because the
+// window is part of the timeline rather than a mutable flag, a
+// retransmission ladder that spans the outage (an RPC RTO backoff, a TCP
+// recovery round) succeeds at exactly the first attempt after `until`,
+// which keeps fault injection deterministic even when one synchronous op
+// crosses the heal instant. A zero window (the default) disables it.
+func (n *Network) SetOutage(from, until time.Duration) {
+	n.outageFrom, n.outageUntil = from, until
+}
+
+// Outage reports the scheduled partition window.
+func (n *Network) Outage() (from, until time.Duration) {
+	return n.outageFrom, n.outageUntil
+}
+
+// inOutage reports whether a frame starting at t falls in the partition.
+func (n *Network) inOutage(t time.Duration) bool {
+	return t >= n.outageFrom && t < n.outageUntil
+}
 
 // Stats returns a snapshot of the accumulated counters.
 func (n *Network) Stats() metrics.NetStats { return n.stats }
@@ -249,7 +277,9 @@ func (n *Network) serialize(start time.Duration, wire int, ser time.Duration, d 
 func (n *Network) transmit(start time.Duration, size int, d Direction, fragment bool) (arrive time.Duration, ok bool) {
 	wire, ser := n.account(size, d)
 	sent, ok := n.serialize(start, wire, ser, d, fragment)
-	if p := n.lossProb(size, fragment); ok && p > 0 && n.rng.Float64() < p {
+	if ok && n.inOutage(start) {
+		ok = false
+	} else if p := n.lossProb(size, fragment); ok && p > 0 && n.rng.Float64() < p {
 		ok = false
 	}
 	if n.tracer.Enabled() {
@@ -312,7 +342,9 @@ func (n *Network) SendSegment(start time.Duration, size int, d Direction) (sent,
 		arrive = depart
 		ok = accepted
 	}
-	if p := n.lossProb(size, false); ok && p > 0 && n.rng.Float64() < p {
+	if ok && n.inOutage(start) {
+		ok = false
+	} else if p := n.lossProb(size, false); ok && p > 0 && n.rng.Float64() < p {
 		ok = false
 	}
 	if n.tracer.Enabled() {

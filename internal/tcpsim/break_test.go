@@ -1,0 +1,22 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestBreakSeversConnection(t *testing.T) {
+	c, done := connect(t, wan(time.Millisecond, 0, 1), Config{})
+	if _, ok := c.Transfer(done, 8192, simnet.ClientToServer); !ok {
+		t.Fatal("transfer on a healthy connection failed")
+	}
+	c.Break()
+	if c.Established() {
+		t.Fatal("broken connection still established")
+	}
+	if _, ok := c.Transfer(done+time.Second, 8192, simnet.ClientToServer); ok {
+		t.Fatal("transfer on a broken connection succeeded")
+	}
+}

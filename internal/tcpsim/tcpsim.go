@@ -182,6 +182,12 @@ func (c *Conn) Stats() Stats { return c.stats }
 // Established reports whether the handshake has completed.
 func (c *Conn) Established() bool { return c.established && !c.broken }
 
+// Break severs the connection from outside the transfer machinery — the
+// peer crashed or reset it (fault injection). Subsequent transfers fail
+// fast with ok=false; recovery requires a fresh Conn and Connect, exactly
+// as when the retransmission budget breaks the connection from inside.
+func (c *Conn) Break() { c.broken = true }
+
 // Config returns the (filled) connection configuration.
 func (c *Conn) Config() Config { return c.cfg }
 

@@ -210,6 +210,30 @@ func TestISCSIReadColdCacheCriticalPath(t *testing.T) {
 	}, "iscsi_read_critpath.golden")
 }
 
+// TestISCSITCPReadColdCacheCriticalPath pins the attribution of one
+// cold-cache iSCSI READ over virtual-time TCP — the MC/S session path.
+// Since the pipelined data phases re-parent under their covering command
+// span, this cell breaks down per layer like the fluid one: TCP legs,
+// link frames, server CPU and disk all appear, and the bare iscsi layer
+// (protocol overhead the children don't cover) bills less than half the
+// op instead of lumping the whole pipeline.
+func TestISCSITCPReadColdCacheCriticalPath(t *testing.T) {
+	spans, root := coldReadRoot(t, testbed.ISCSI, testbed.TransportTCP)
+	checkColdRead(t, spans, root, []string{
+		tracing.LayerSyscall, tracing.LayerCache, tracing.LayerISCSI,
+		tracing.LayerTCP, tracing.LayerLink, tracing.LayerCPUServer,
+		tracing.LayerDisk,
+	}, "iscsi_tcp_read_critpath.golden")
+	attr, err := tracing.CriticalPath(spans, root.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := root.End - root.Start; 2*attr[tracing.LayerISCSI] >= op {
+		t.Errorf("iscsi layer bills %v of a %v op (≥50%%): MC/S data phases are not nesting under their command span",
+			attr[tracing.LayerISCSI], op)
+	}
+}
+
 // TestTracingDisabledIsInert verifies the documented off state at the
 // testbed level: a nil tracer produces no spans and never disturbs the
 // simulation — a traced and an untraced run of the same script land on

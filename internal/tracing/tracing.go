@@ -194,6 +194,54 @@ func (t *Tracer) Record(start, end time.Duration, layer, op string) SpanRef {
 	return SpanRef{idx: int32(len(t.cur))}
 }
 
+// BeginDetached opens a span parented to the innermost open span without
+// joining the LIFO stack — the covering span for pipelined work (MC/S
+// sub-commands) whose interval outlives any one synchronous step and whose
+// completions interleave out of issue order. Close it with EndDetached;
+// while one synchronous slice of its work executes, bracket the slice with
+// Enter/Exit so the spans that slice records nest under it. Outside any
+// open operation it records nothing, like Record.
+func (t *Tracer) BeginDetached(now time.Duration, layer, op string) SpanRef {
+	if t == nil || t.skip > 0 || len(t.stack) == 0 {
+		return SpanRef{}
+	}
+	parent := t.stack[len(t.stack)-1] + 1
+	t.cur = append(t.cur, Span{Parent: int64(parent), Layer: layer, Op: op, Start: now})
+	return SpanRef{idx: int32(len(t.cur))}
+}
+
+// EndDetached closes a detached span at now. Unlike End it never touches
+// the LIFO stack or the sampling nesting counter, so it is safe to call
+// from a different synchronous slice than the BeginDetached.
+func (t *Tracer) EndDetached(ref SpanRef, now time.Duration) {
+	if t == nil || !ref.Valid() {
+		return
+	}
+	t.cur[int(ref.idx)-1].End = now
+}
+
+// Enter pushes a detached span onto the LIFO stack: spans recorded by the
+// current synchronous slice of its work become its children. Every Enter
+// must be matched by an Exit on the same ref within the same slice;
+// Enter/Exit pairs nest like Begin/End.
+func (t *Tracer) Enter(ref SpanRef) {
+	if t == nil || !ref.Valid() {
+		return
+	}
+	t.stack = append(t.stack, int(ref.idx)-1)
+}
+
+// Exit pops the span pushed by the matching Enter. The span stays open —
+// only EndDetached closes it.
+func (t *Tracer) Exit(ref SpanRef) {
+	if t == nil || !ref.Valid() {
+		return
+	}
+	if n := len(t.stack); n > 0 && t.stack[n-1] == int(ref.idx)-1 {
+		t.stack = t.stack[:n-1]
+	}
+}
+
 // SetTag attaches a key/value to a live span ref. Kept separate from
 // Begin/Record so the disabled path never materializes tag arguments.
 func (t *Tracer) SetTag(ref SpanRef, k, v string) {
@@ -222,6 +270,12 @@ func (t *Tracer) commit() {
 	}
 	base := t.nextID
 	for i, s := range t.cur {
+		if s.End < s.Start {
+			// A detached span abandoned by an error path (its pipeline
+			// died before EndDetached): close it empty so the stream
+			// stays schema-valid.
+			s.End = s.Start
+		}
 		s.ID = base + int64(i) + 1
 		if s.Parent > 0 {
 			s.Parent += base

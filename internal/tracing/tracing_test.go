@@ -100,6 +100,105 @@ func TestSlowSampling(t *testing.T) {
 	}
 }
 
+// TestDetachedSpans exercises the pipelined-work shape: two detached
+// command spans open at issue time, interleave their synchronous steps
+// (Enter/Exit), and close out of issue order. Spans recorded inside an
+// entered slice must parent under the detached span, not its siblings.
+func TestDetachedSpans(t *testing.T) {
+	tr := New(Config{})
+	op := tr.BeginOp(0, LayerSyscall, "read", 0)
+	a := tr.BeginDetached(10*us, LayerISCSI, "read10")
+	b := tr.BeginDetached(15*us, LayerISCSI, "read10")
+	tr.Enter(a)
+	tr.Record(20*us, 30*us, LayerLink, "frame")
+	tr.Exit(a)
+	tr.Enter(b)
+	tr.Record(35*us, 45*us, LayerDisk, "read")
+	tr.Exit(b)
+	tr.EndDetached(b, 50*us) // completes before a: out of issue order
+	tr.Enter(a)
+	tr.Record(55*us, 65*us, LayerLink, "frame")
+	tr.Exit(a)
+	tr.EndDetached(a, 70*us)
+	tr.End(op, 100*us)
+
+	spans := tr.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6: %+v", len(spans), spans)
+	}
+	byOp := func(i int) Span { return spans[i] }
+	// spans: 1 root, 2 a, 3 b, 4 frame(a), 5 disk(b), 6 frame(a)
+	if byOp(1).Parent != 1 || byOp(2).Parent != 1 {
+		t.Fatalf("detached spans must parent to the root: %+v", spans)
+	}
+	if byOp(3).Parent != 2 || byOp(5).Parent != 2 {
+		t.Fatalf("entered slices must parent under detached span a: %+v", spans)
+	}
+	if byOp(4).Parent != 3 {
+		t.Fatalf("entered slice must parent under detached span b: %+v", spans)
+	}
+	if byOp(1).End != 70*us || byOp(2).End != 50*us {
+		t.Fatalf("detached ends wrong: %+v", spans)
+	}
+	for _, s := range spans {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attr, err := CriticalPath(spans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := attr.Total(), 100*us; got != want {
+		t.Fatalf("attribution sums to %v, want %v", got, want)
+	}
+}
+
+// TestDetachedAbandonedSpanClamped: a detached span never closed (error
+// path) commits as an empty interval rather than an invalid one.
+func TestDetachedAbandonedSpanClamped(t *testing.T) {
+	tr := New(Config{})
+	op := tr.BeginOp(0, LayerSyscall, "read", 0)
+	tr.BeginDetached(10*us, LayerISCSI, "read10") // never ended
+	tr.End(op, 100*us)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[1].End != spans[1].Start {
+		t.Fatalf("abandoned span not clamped: %+v", spans[1])
+	}
+	for _, s := range spans {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDetachedNilAndSampledSafe pins the off states: nil tracers and
+// sampled-out ops make every detached-span method a no-op.
+func TestDetachedNilAndSampledSafe(t *testing.T) {
+	var nilT *Tracer
+	ref := nilT.BeginDetached(0, LayerISCSI, "x")
+	nilT.Enter(ref)
+	nilT.Exit(ref)
+	nilT.EndDetached(ref, us)
+
+	tr := New(Config{Every: 2})
+	for i := 0; i < 2; i++ {
+		op := tr.BeginOp(0, LayerSyscall, "read", 0)
+		ref := tr.BeginDetached(10*us, LayerISCSI, "read10")
+		tr.Enter(ref)
+		tr.Record(20*us, 30*us, LayerLink, "frame")
+		tr.Exit(ref)
+		tr.EndDetached(ref, 40*us)
+		tr.End(op, 50*us)
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("got %d spans, want 3 (one sampled-in op)", got)
+	}
+}
+
 func TestRecordOutsideOpDropped(t *testing.T) {
 	tr := New(Config{})
 	tr.Record(0, 10*us, LayerDisk, "read")
