@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -606,4 +607,57 @@ func BenchmarkFault(b *testing.B) {
 	report(b, iscsiTTR, "iscsi-crash-ttr-ms")
 	report(b, nfsDegr, "nfs-degraded-ops/s")
 	report(b, iscsiDegr, "iscsi-degraded-ops/s")
+}
+
+// BenchmarkContention runs the lock ping-pong cell on both sharing
+// models — NFS byte-range locks vs iSCSI persistent reservations — over
+// the fluid wire and reports locked-op throughput and the mean denied
+// polls per op (the cross-client sharing headline for the perf
+// trajectory), plus the full-stack delegation message reduction from a
+// short EECS replay on a delegating NFSv4 cluster (oracle-validated in
+// internal/replay).
+func BenchmarkContention(b *testing.B) {
+	var nfsRate, iscsiRate, nfsPollsPerOp, reduction float64
+	for i := 0; i < b.N; i++ {
+		cells, err := core.RunContention(core.ContendConfig{
+			Workloads:  []string{core.ContendPingPong},
+			Stacks:     []core.Stack{core.NFSv3, core.ISCSI},
+			Transports: []testbed.Transport{testbed.TransportFluid},
+			Clients:    4,
+			Iters:      25,
+			Seed:       7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			switch c.Stack {
+			case core.NFSv3:
+				nfsRate = c.Rate
+				nfsPollsPerOp = float64(c.Denials) / float64(c.Ops)
+			case core.ISCSI:
+				iscsiRate = c.Rate
+			}
+		}
+		cl, err := testbed.NewCluster(testbed.ClusterConfig{
+			Kind:         testbed.NFSv4,
+			Clients:      4,
+			DeviceBlocks: 8192,
+			Seed:         11,
+			Sharing:      &testbed.SharingConfig{Delegation: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := trace.Synthesize(trace.EECS())
+		res, err := replay.Run(cl, recs, replay.Options{DirMod: 32, MaxOps: 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = 100 * (1 - float64(res.Messages)/float64(len(res.Ops)))
+	}
+	report(b, nfsRate, "nfs-pingpong-ops/s")
+	report(b, iscsiRate, "iscsi-pingpong-ops/s")
+	report(b, nfsPollsPerOp, "nfs-denied-polls/op")
+	report(b, reduction, "delegation-reduction-fullstack-%")
 }

@@ -1,6 +1,7 @@
 package iscsi
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,9 +26,18 @@ func opName(op byte) string {
 		return "read_capacity"
 	case scsi.OpTestUnitReady:
 		return "tur"
+	case scsi.OpPersistentReserveOut:
+		return "pr_out"
+	case scsi.OpPersistentReserveIn:
+		return "pr_in"
 	}
 	return "scsi"
 }
+
+// ErrReservationConflict reports a shared-LUN command refused by another
+// initiator's persistent reservation. Contention workloads poll on it
+// the way NFS clients poll a denied lock.
+var ErrReservationConflict = errors.New("iscsi: reservation conflict")
 
 // MaxTransferBlocks caps a single SCSI command's transfer (256 KB of 4 KB
 // blocks), matching the MaxRecvDataSegmentLength we negotiate at login.
@@ -154,11 +164,21 @@ func (i *Initiator) Login(at time.Duration) (time.Duration, error) {
 // doubling recovery timeout (as TCP retransmission would recover it on a
 // real initiator); CHECK CONDITION responses are never retried.
 func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, bool) {
+	done, payload, status, ok := i.commandLUN(at, 0, cdb, data, expectIn)
+	return done, payload, ok && status == scsi.StatusGood
+}
+
+// commandLUN is command with an explicit LUN and the SCSI status exposed:
+// the shared-LUN paths need to distinguish RESERVATION CONFLICT (retry
+// later) from CHECK CONDITION (hard error). ok=false means transport
+// loss; when ok, status and the response payload are valid.
+func (i *Initiator) commandLUN(at time.Duration, lun uint64, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, byte, bool) {
 	i.itt++
 	i.cmdSN++
 	req := &PDU{
 		Opcode:      OpSCSICommand,
 		Flags:       FlagFinal,
+		LUN:         lun,
 		ITT:         i.itt,
 		CmdSN:       i.cmdSN,
 		ExpStatSN:   i.expStatSN,
@@ -176,30 +196,27 @@ func (i *Initiator) command(at time.Duration, cdb scsi.CDB, data []byte, expectI
 			resp = r
 			return t
 		})
-		if !ok {
+		if !ok || resp == nil {
 			// Request or response frame lost: recover after the timeout.
 			if attempt >= maxCommandRetries {
 				i.tracer.End(ref, done)
-				return done, nil, false
+				return done, nil, 0, false
 			}
 			i.retries++
 			at = done + rto
 			rto *= 2
 			continue
 		}
-		if resp == nil || resp.Status != scsi.StatusGood {
+		if resp.Status != scsi.StatusGood {
 			i.tracer.End(ref, done)
-			if resp == nil {
-				return done, nil, false
-			}
-			return done, resp.Data, false
+			return done, resp.Data, resp.Status, true
 		}
 		i.expStatSN = resp.StatSN
 		if expectIn > 0 {
 			done = i.charge(done, time.Duration(expectIn/1024)*i.cost.PerKB)
 		}
 		i.tracer.End(ref, done)
-		return done, resp.Data, true
+		return done, resp.Data, resp.Status, true
 	}
 }
 
@@ -285,4 +302,86 @@ func (i *Initiator) Flush(start time.Duration) (time.Duration, error) {
 		return done, fmt.Errorf("iscsi: SYNCHRONIZE CACHE failed: %s", string(sense))
 	}
 	return done, nil
+}
+
+// ---- shared-LUN operations (cross-client contention) ----
+
+// Reserve attempts a persistent reservation on the shared LUN. A false
+// return with nil error means another initiator holds it — poll again,
+// like a denied NFS lock.
+func (i *Initiator) Reserve(at time.Duration, rtype byte) (bool, time.Duration, error) {
+	if !i.loggedIn {
+		return false, at, fmt.Errorf("iscsi: reserve before login")
+	}
+	done, sense, status, ok := i.commandLUN(at, SharedLUN, scsi.PersistentReserveOut(scsi.PRActionReserve, rtype), nil, 0)
+	if !ok {
+		return false, done, fmt.Errorf("iscsi: PR OUT lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		return true, done, nil
+	case scsi.StatusReservationConflict:
+		return false, done, nil
+	}
+	return false, done, fmt.Errorf("iscsi: PR OUT failed: %s", string(sense))
+}
+
+// Release drops this initiator's reservation on the shared LUN.
+func (i *Initiator) Release(at time.Duration) (time.Duration, error) {
+	if !i.loggedIn {
+		return at, fmt.Errorf("iscsi: release before login")
+	}
+	done, sense, status, ok := i.commandLUN(at, SharedLUN, scsi.PersistentReserveOut(scsi.PRActionRelease, 0), nil, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: PR OUT lost: %w", simnet.ErrTransportBroken)
+	}
+	if status != scsi.StatusGood {
+		return done, fmt.Errorf("iscsi: release failed: %s", string(sense))
+	}
+	return done, nil
+}
+
+// SharedRead reads from the shared LUN (raw blocks, no filesystem —
+// block storage has no sharable cache coherence, which is the paper's
+// point). Returns ErrReservationConflict when excluded by another
+// initiator's exclusive-access reservation.
+func (i *Initiator) SharedRead(at time.Duration, lba int64, buf []byte) (time.Duration, error) {
+	bs := i.BlockSize()
+	if len(buf)%bs != 0 || len(buf)/bs > MaxTransferBlocks {
+		return at, fmt.Errorf("iscsi: bad shared read extent %d", len(buf))
+	}
+	n := len(buf) / bs
+	done, data, status, ok := i.commandLUN(at, SharedLUN, scsi.Read10(uint32(lba), uint16(n)), nil, len(buf))
+	if !ok {
+		return done, fmt.Errorf("iscsi: shared READ(10) lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		copy(buf, data)
+		return done, nil
+	case scsi.StatusReservationConflict:
+		return done, ErrReservationConflict
+	}
+	return done, fmt.Errorf("iscsi: shared READ(10) failed: %s", string(data))
+}
+
+// SharedWrite writes to the shared LUN; ErrReservationConflict when a
+// foreign reservation excludes the write.
+func (i *Initiator) SharedWrite(at time.Duration, lba int64, data []byte) (time.Duration, error) {
+	bs := i.BlockSize()
+	if len(data)%bs != 0 || len(data)/bs > MaxTransferBlocks {
+		return at, fmt.Errorf("iscsi: bad shared write extent %d", len(data))
+	}
+	n := len(data) / bs
+	done, sense, status, ok := i.commandLUN(at, SharedLUN, scsi.Write10(uint32(lba), uint16(n)), data, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: shared WRITE(10) lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		return done, nil
+	case scsi.StatusReservationConflict:
+		return done, ErrReservationConflict
+	}
+	return done, fmt.Errorf("iscsi: shared WRITE(10) failed: %s", string(sense))
 }

@@ -173,7 +173,16 @@ func (s *Session) Login(at time.Duration) (time.Duration, error) {
 // PDU up, target service, response (with inline Data-In) down. Used for
 // discovery and cache flushes, where there is nothing to overlap.
 func (s *Session) command(ci int, at time.Duration, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, bool) {
+	done, payload, status, ok := s.commandLUN(ci, at, 0, cdb, data, expectIn)
+	return done, payload, ok && status == scsi.StatusGood
+}
+
+// commandLUN is command with an explicit LUN and the SCSI status
+// exposed (shared-LUN paths must see RESERVATION CONFLICT). ok=false
+// means transport failure.
+func (s *Session) commandLUN(ci int, at time.Duration, lun uint64, cdb scsi.CDB, data []byte, expectIn int) (time.Duration, []byte, byte, bool) {
 	req := s.nextPDU(cdb, data, expectIn)
+	req.LUN = lun
 	// The whole command's client CPU demand (issue path plus data
 	// handling) is charged at issue: pipelined commands then hit the
 	// shared CPU resource in monotone virtual-time order, which a
@@ -186,18 +195,108 @@ func (s *Session) command(ci int, at time.Duration, cdb scsi.CDB, data []byte, e
 	s.tracer.End(leg, arrive)
 	if !ok {
 		s.tracer.End(ref, arrive)
-		return arrive, nil, false
+		return arrive, nil, 0, false
 	}
 	resp, svcDone := s.target.HandleCommand(arrive, req)
 	leg = s.tracer.Begin(svcDone, tracing.LayerTCP, "response")
 	reply, ok := s.conns[ci].Transfer(svcDone, BHSSize+pad4(len(resp.Data)), simnet.ServerToClient)
 	s.tracer.End(leg, reply)
 	s.tracer.End(ref, reply)
-	if !ok || resp.Status != scsi.StatusGood {
-		return reply, resp.Data, false
+	if !ok {
+		return reply, resp.Data, 0, false
 	}
-	s.expStatSN = resp.StatSN
-	return reply, resp.Data, true
+	if resp.Status == scsi.StatusGood {
+		s.expStatSN = resp.StatSN
+	}
+	return reply, resp.Data, resp.Status, true
+}
+
+// nextConn advances the round-robin cursor and returns a connection for
+// one synchronous command.
+func (s *Session) nextConn() int {
+	ci := s.rr
+	s.rr = (s.rr + 1) % len(s.conns)
+	return ci
+}
+
+// Reserve attempts a persistent reservation on the shared LUN (see
+// Initiator.Reserve).
+func (s *Session) Reserve(at time.Duration, rtype byte) (bool, time.Duration, error) {
+	if !s.loggedIn {
+		return false, at, fmt.Errorf("iscsi: reserve before login")
+	}
+	done, sense, status, ok := s.commandLUN(s.nextConn(), at, SharedLUN,
+		scsi.PersistentReserveOut(scsi.PRActionReserve, rtype), nil, 0)
+	if !ok {
+		return false, done, fmt.Errorf("iscsi: PR OUT lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		return true, done, nil
+	case scsi.StatusReservationConflict:
+		return false, done, nil
+	}
+	return false, done, fmt.Errorf("iscsi: PR OUT failed: %s", string(sense))
+}
+
+// Release drops this session's reservation on the shared LUN.
+func (s *Session) Release(at time.Duration) (time.Duration, error) {
+	if !s.loggedIn {
+		return at, fmt.Errorf("iscsi: release before login")
+	}
+	done, sense, status, ok := s.commandLUN(s.nextConn(), at, SharedLUN,
+		scsi.PersistentReserveOut(scsi.PRActionRelease, 0), nil, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: PR OUT lost: %w", simnet.ErrTransportBroken)
+	}
+	if status != scsi.StatusGood {
+		return done, fmt.Errorf("iscsi: release failed: %s", string(sense))
+	}
+	return done, nil
+}
+
+// SharedRead reads raw blocks from the shared LUN over one connection
+// (single-command extents; see Initiator.SharedRead).
+func (s *Session) SharedRead(at time.Duration, lba int64, buf []byte) (time.Duration, error) {
+	bs := s.BlockSize()
+	if len(buf)%bs != 0 || len(buf)/bs > MaxTransferBlocks {
+		return at, fmt.Errorf("iscsi: bad shared read extent %d", len(buf))
+	}
+	n := len(buf) / bs
+	done, data, status, ok := s.commandLUN(s.nextConn(), at, SharedLUN,
+		scsi.Read10(uint32(lba), uint16(n)), nil, len(buf))
+	if !ok {
+		return done, fmt.Errorf("iscsi: shared READ(10) lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		copy(buf, data)
+		return done, nil
+	case scsi.StatusReservationConflict:
+		return done, ErrReservationConflict
+	}
+	return done, fmt.Errorf("iscsi: shared READ(10) failed: %s", string(data))
+}
+
+// SharedWrite writes raw blocks to the shared LUN over one connection.
+func (s *Session) SharedWrite(at time.Duration, lba int64, data []byte) (time.Duration, error) {
+	bs := s.BlockSize()
+	if len(data)%bs != 0 || len(data)/bs > MaxTransferBlocks {
+		return at, fmt.Errorf("iscsi: bad shared write extent %d", len(data))
+	}
+	n := len(data) / bs
+	done, sense, status, ok := s.commandLUN(s.nextConn(), at, SharedLUN,
+		scsi.Write10(uint32(lba), uint16(n)), data, 0)
+	if !ok {
+		return done, fmt.Errorf("iscsi: shared WRITE(10) lost: %w", simnet.ErrTransportBroken)
+	}
+	switch status {
+	case scsi.StatusGood:
+		return done, nil
+	case scsi.StatusReservationConflict:
+		return done, ErrReservationConflict
+	}
+	return done, fmt.Errorf("iscsi: shared WRITE(10) failed: %s", string(sense))
 }
 
 // nextPDU allocates task tag and command sequence numbers for one command.

@@ -24,13 +24,23 @@ func DefaultTargetCosts() CostModel {
 	return CostModel{PerCommand: 35 * time.Microsecond, PerKB: 4 * time.Microsecond}
 }
 
-// Target is an iSCSI target exposing one LUN backed by a Local device.
+// Target is an iSCSI target exposing one LUN backed by a Local device,
+// plus (optionally) a second LUN shared across all clients' targets for
+// cross-client contention experiments (see SetShared).
 type Target struct {
 	Name string // IQN
 
 	dev  *blockdev.Local
 	cpu  *sim.CPU
 	cost CostModel
+
+	// Shared-LUN state: every client's target exports the same device
+	// as SharedLUN and enforces the same persistent-reservation table,
+	// so a reservation taken through one session conflicts commands
+	// arriving through any other.
+	shared   *blockdev.Local
+	rsv      *scsi.Reservations
+	clientID int
 
 	statSN   uint32
 	expCmdSN uint32
@@ -40,6 +50,10 @@ type Target struct {
 	FailCommands bool
 }
 
+// SharedLUN is the LUN number the shared contention volume is exported
+// under (LUN 0 remains the client's private volume).
+const SharedLUN = 1
+
 // NewTarget builds a target for dev, charging CPU demands to cpu (which may
 // be nil for untimed unit tests).
 func NewTarget(name string, dev *blockdev.Local, cpu *sim.CPU) *Target {
@@ -48,6 +62,16 @@ func NewTarget(name string, dev *blockdev.Local, cpu *sim.CPU) *Target {
 
 // SetCosts overrides the CPU cost model.
 func (t *Target) SetCosts(c CostModel) { t.cost = c }
+
+// SetShared exports dev as SharedLUN under the reservation table rsv,
+// identifying commands from this target's (sole) initiator as client.
+// The reservation table is persistent SCSI state: it survives target
+// crashes, unlike the login/sequence state Crash drops.
+func (t *Target) SetShared(dev *blockdev.Local, rsv *scsi.Reservations, client int) {
+	t.shared = dev
+	t.rsv = rsv
+	t.clientID = client
+}
 
 // Device exposes the backing device (tests use it to corrupt/verify bytes).
 func (t *Target) Device() *blockdev.Local { return t.dev }
@@ -118,7 +142,14 @@ func (t *Target) HandleCommand(at time.Duration, req *PDU) (*PDU, time.Duration)
 		return t.check(req, "target: injected command failure"), at
 	}
 	t.expCmdSN = req.CmdSN + 1
-	bs := t.dev.BlockSize()
+	dev := t.dev
+	if req.LUN == SharedLUN {
+		if t.shared == nil {
+			return t.check(req, "target: no shared LUN exported"), at
+		}
+		dev = t.shared
+	}
+	bs := dev.BlockSize()
 	done := t.charge(at, t.cost.PerCommand)
 
 	resp := &PDU{Opcode: OpSCSIResponse, Flags: FlagFinal, ITT: req.ITT, Status: scsi.StatusGood}
@@ -128,28 +159,60 @@ func (t *Target) HandleCommand(at time.Duration, req *PDU) (*PDU, time.Duration)
 	case scsi.OpInquiry:
 		resp.Data = scsi.InquiryData("REPRO", "SIMVOL")
 	case scsi.OpReadCapacity10:
-		cap := scsi.CapacityData(uint32(t.dev.NumBlocks()-1), uint32(bs))
+		cap := scsi.CapacityData(uint32(dev.NumBlocks()-1), uint32(bs))
 		resp.Data = cap[:]
+	case scsi.OpPersistentReserveOut:
+		if req.LUN != SharedLUN {
+			return t.check(req, "target: reservations only on the shared LUN"), done
+		}
+		switch cdb.Action {
+		case scsi.PRActionReserve:
+			if !t.rsv.Reserve(t.clientID, cdb.RType) {
+				return t.conflict(req, done)
+			}
+		case scsi.PRActionRelease:
+			t.rsv.Release(t.clientID)
+		default:
+			return t.check(req, fmt.Sprintf("target: unsupported PR action 0x%02x", cdb.Action)), done
+		}
+	case scsi.OpPersistentReserveIn:
+		if req.LUN != SharedLUN {
+			return t.check(req, "target: reservations only on the shared LUN"), done
+		}
+		holder, rtype := t.rsv.Holder()
+		buf := make([]byte, 8)
+		buf[0] = byte(holder >> 24)
+		buf[1] = byte(holder >> 16)
+		buf[2] = byte(holder >> 8)
+		buf[3] = byte(holder)
+		buf[4] = rtype
+		resp.Data = buf
 	case scsi.OpRead10:
+		if req.LUN == SharedLUN && !t.rsv.AllowRead(t.clientID) {
+			return t.conflict(req, done)
+		}
 		buf := make([]byte, int(cdb.Length)*bs)
 		done = t.charge(done, time.Duration(len(buf)/1024)*t.cost.PerKB)
-		done, err = t.dev.ReadBlocks(done, int64(cdb.LBA), buf)
+		done, err = dev.ReadBlocks(done, int64(cdb.LBA), buf)
 		if err != nil {
 			return t.check(req, err.Error()), done
 		}
 		resp.Data = buf
 	case scsi.OpWrite10:
+		if req.LUN == SharedLUN && !t.rsv.AllowWrite(t.clientID) {
+			return t.conflict(req, done)
+		}
 		want := int(cdb.Length) * bs
 		if len(req.Data) < want {
 			return t.check(req, fmt.Sprintf("target: short write payload %d < %d", len(req.Data), want)), done
 		}
 		done = t.charge(done, time.Duration(want/1024)*t.cost.PerKB)
-		done, err = t.dev.WriteBlocks(done, int64(cdb.LBA), req.Data[:want])
+		done, err = dev.WriteBlocks(done, int64(cdb.LBA), req.Data[:want])
 		if err != nil {
 			return t.check(req, err.Error()), done
 		}
 	case scsi.OpSyncCache10:
-		done, err = t.dev.Flush(done)
+		done, err = dev.Flush(done)
 		if err != nil {
 			return t.check(req, err.Error()), done
 		}
@@ -161,6 +224,22 @@ func (t *Target) HandleCommand(at time.Duration, req *PDU) (*PDU, time.Duration)
 	resp.ExpCmdSN = t.expCmdSN
 	resp.MaxCmdSN = t.expCmdSN + 64
 	return resp, done
+}
+
+// conflict builds a RESERVATION CONFLICT response: the command was
+// legal but another initiator's persistent reservation excludes it. The
+// status sequence advances — the command was serviced, just refused.
+func (t *Target) conflict(req *PDU, done time.Duration) (*PDU, time.Duration) {
+	t.statSN++
+	return &PDU{
+		Opcode:   OpSCSIResponse,
+		Flags:    FlagFinal,
+		ITT:      req.ITT,
+		Status:   scsi.StatusReservationConflict,
+		StatSN:   t.statSN,
+		ExpCmdSN: t.expCmdSN,
+		MaxCmdSN: t.expCmdSN + 64,
+	}, done
 }
 
 // check builds a CHECK CONDITION response carrying sense text.

@@ -43,6 +43,8 @@ const (
 	SubsysBench = "bench" // go test -benchjson headline metrics
 	SubsysFleet = "fleet" // fluid background-cohort aggregates
 	SubsysHist  = "hist"  // per-op latency histograms (log-spaced buckets)
+	SubsysLock  = "lock"  // byte-range lock manager / SCSI reservation counters
+	SubsysLease = "lease" // NFSv4 delegation (lease) counters
 )
 
 // Sampled-telemetry tag names. Above a cluster's telemetry fan-in, only a

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ext3"
+	"repro/internal/lockmgr"
 	"repro/internal/sim"
 	"repro/internal/sunrpc"
 	"repro/internal/tracing"
@@ -72,6 +73,21 @@ type Client struct {
 
 	attrTTL time.Duration
 	dataTTL time.Duration
+
+	// Cross-client sharing state (lock.go). shareID names this client to
+	// the server's lock manager and delegation table; heldLocks is the
+	// client-side lock list (survives cache drops — locks are protocol
+	// state, not cache — and seeds post-restart reclaims); lockFH caches
+	// lock-target handles so a blocked client's polls cost one LOCK RPC
+	// each, not a fresh path walk. deleg, when non-nil, enables the v4
+	// delegation fast path: delegFH/delegAttrs are the handles and
+	// attributes local operations are served from.
+	shareID    int
+	heldLocks  []heldLock
+	lockFH     map[string]FH
+	deleg      *lockmgr.Delegations
+	delegFH    map[string]FH
+	delegAttrs map[string]vfs.Stat
 
 	// Tunables (exported for ablation benchmarks).
 	ReadAheadPages   int // client read-ahead, in pages
@@ -153,6 +169,10 @@ func (c *Client) DropCaches() {
 	c.files = make(map[uint64]*fileState)
 	c.pages = newPageCache(c.pages.max)
 	c.wb = newWriteBehind(c)
+	if c.deleg != nil {
+		c.delegFH = make(map[string]FH)
+		c.delegAttrs = make(map[string]vfs.Stat)
+	}
 }
 
 // charge bills client CPU for one call handling payload bytes.
@@ -738,6 +758,11 @@ func (c *Client) Stat(at time.Duration, path string) (vfs.Stat, time.Duration, e
 	if !c.mounted {
 		return vfs.Stat{}, at, vfs.ErrStale
 	}
+	if c.deleg != nil {
+		if st, done, err, handled := c.delegStat(at, path); handled {
+			return st, done, err
+		}
+	}
 	fh, done, err := c.resolve(at, path, true)
 	if err != nil {
 		return vfs.Stat{}, done, err
@@ -805,6 +830,11 @@ func (c *Client) Chown(at time.Duration, path string, uid, gid uint32) (time.Dur
 
 // Utimes implements vfs.FileSystem.
 func (c *Client) Utimes(at time.Duration, path string, atime, mtime time.Duration) (time.Duration, error) {
+	if c.deleg != nil && c.mounted {
+		if done, err, handled := c.delegUtimes(at, path, atime, mtime); handled {
+			return done, err
+		}
+	}
 	return c.setattr(at, path, ext3.SetAttr{Atime: &atime, Mtime: &mtime}, false)
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ext3"
+	"repro/internal/lockmgr"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
@@ -48,6 +49,13 @@ type Server struct {
 
 	// FailRequests injects server unavailability (failure testing).
 	FailRequests bool
+
+	// Locks, when non-nil, is the NLM-style byte-range lock manager
+	// serving LOCK/UNLOCK requests (cross-client sharing). It lives on
+	// the Server — not the filesystem — so a server restart can drop the
+	// lock table and open an NSM-style grace period while the journal
+	// replays.
+	Locks *lockmgr.Manager
 }
 
 // syncMeta commits the server filesystem after a meta-data mutation.
@@ -351,4 +359,54 @@ func (s *Server) OpenConfirm(at time.Duration) (time.Duration, error) {
 // Close serves v4 CLOSE.
 func (s *Server) Close(at time.Duration) (time.Duration, error) {
 	return s.begin(at, ProcClose, 0)
+}
+
+// Lock serves one LOCK request against the server's lock manager: a
+// reclaim during the post-restart grace window, or a normal try-lock
+// (denied requests join the manager's FIFO queue; the client polls).
+// Returns whether the lock was granted.
+func (s *Server) Lock(at time.Duration, fh FH, owner int, off, length int64, excl, reclaim bool) (bool, time.Duration, error) {
+	at, err := s.begin(at, ProcLock, 0)
+	if err != nil {
+		return false, at, err
+	}
+	if s.Locks == nil {
+		return false, at, vfs.ErrInvalid
+	}
+	if reclaim {
+		return s.Locks.Reclaim(at, owner, fh.Ino, off, length, excl), at, nil
+	}
+	return s.Locks.TryLock(at, owner, fh.Ino, off, length, excl), at, nil
+}
+
+// Unlock serves one UNLOCK request.
+func (s *Server) Unlock(at time.Duration, fh FH, owner int, off, length int64) (time.Duration, error) {
+	at, err := s.begin(at, ProcUnlock, 0)
+	if err != nil {
+		return at, err
+	}
+	if s.Locks == nil {
+		return at, vfs.ErrInvalid
+	}
+	s.Locks.Unlock(at, owner, fh.Ino, off, length)
+	return at, nil
+}
+
+// SetattrNamed is the v4 COMPOUND (PUTFH;LOOKUP;SETATTR) a delegation
+// holder sends when it must push an update for a path it has no cached
+// handle for: one message, one logical operation (counted as SETATTR,
+// consistent with how this package folds COMPOUNDs — see Proc). The
+// server resolves name under dir and applies the update in one round.
+func (s *Server) SetattrNamed(at time.Duration, dir FH, name string, sa ext3.SetAttr) (FH, vfs.Stat, time.Duration, error) {
+	at, err := s.begin(at, ProcSetattr, 0)
+	if err != nil {
+		return FH{}, vfs.Stat{}, at, err
+	}
+	ino, _, done, err := s.fs.LookupAt(at, ext3.Ino(dir.Ino), name)
+	if err != nil {
+		return FH{}, vfs.Stat{}, done, err
+	}
+	st, done, err := s.fs.SetAttrAt(done, ino, sa)
+	done, err = s.syncMeta(done, err)
+	return FH{Ino: uint64(ino)}, st, done, err
 }

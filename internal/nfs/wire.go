@@ -75,6 +75,8 @@ const (
 	ProcOpen        // v4
 	ProcOpenConfirm // v4
 	ProcClose       // v4
+	ProcLock        // NLM LOCK (v2/v3 sideband) / v4 LOCK
+	ProcUnlock      // NLM UNLOCK / v4 LOCKU
 )
 
 var procNames = map[Proc]string{
@@ -86,6 +88,7 @@ var procNames = map[Proc]string{
 	ProcReaddir: "READDIR", ProcReaddirPlus: "READDIRPLUS",
 	ProcFsstat: "FSSTAT", ProcFsinfo: "FSINFO", ProcCommit: "COMMIT",
 	ProcOpen: "OPEN", ProcOpenConfirm: "OPEN_CONFIRM", ProcClose: "CLOSE",
+	ProcLock: "LOCK", ProcUnlock: "UNLOCK",
 }
 
 func (p Proc) String() string {
@@ -181,6 +184,10 @@ func ArgSize(v Version, p Proc, nameLen, payload int) int {
 		return base + 12
 	case ProcOpenConfirm:
 		return base + 12
+	case ProcLock:
+		return base + 28 // owner + offset + length + type + reclaim flag
+	case ProcUnlock:
+		return base + 24 // owner + offset + length
 	default:
 		return base
 	}
@@ -209,6 +216,8 @@ func ResSize(v Version, p Proc, payload int) int {
 		return base + attrs + payload
 	case ProcCommit:
 		return base + attrs + 8
+	case ProcLock, ProcUnlock:
+		return base + 4 // grant/denied status
 	default:
 		return base
 	}

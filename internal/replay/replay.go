@@ -81,6 +81,14 @@ type Result struct {
 	P50, P90, P99, Mean time.Duration
 	// OpsPerSec is aggregate replayed-op throughput over Elapsed.
 	OpsPerSec float64
+	// Messages counts NFS server requests inside the measured window (0
+	// for iSCSI clusters, whose ops never reach an NFS server). On a
+	// delegating NFSv4 cluster 1-Messages/ops is the full-stack message
+	// reduction the Section 7 simulator predicts.
+	Messages int64
+	// Recalls counts delegation recalls inside the window (0 unless the
+	// cluster delegates).
+	Recalls int64
 }
 
 // dirPath names the simulated directory a trace dir id maps to.
@@ -197,6 +205,16 @@ func Run(cl *testbed.Cluster, recs []trace.Record, opt Options) (*Result, error)
 		return nil, fmt.Errorf("replay: setup: %w", err)
 	}
 	t0 := cl.Align()
+	// Open the oracle measurement window: leases acquired during setup
+	// are dropped so the window starts from the simulator's empty-table
+	// state, and the server request counter is snapshotted so Messages
+	// covers exactly the replayed ops.
+	reqs0 := cl.ServerRequests()
+	var recalls0 int64
+	if d := cl.Delegations(); d != nil {
+		d.Reset()
+		recalls0 = d.Recalls()
+	}
 
 	results := make([][]OpResult, len(cl.Clients))
 	steps := make([]workload.Steps, len(cl.Clients))
@@ -240,6 +258,10 @@ func Run(cl *testbed.Cluster, recs []trace.Record, opt Options) (*Result, error)
 	end := cl.Align()
 
 	res := &Result{Start: t0, Elapsed: end - t0}
+	res.Messages = cl.ServerRequests() - reqs0
+	if d := cl.Delegations(); d != nil {
+		res.Recalls = d.Recalls() - recalls0
+	}
 	for i := range results {
 		res.Ops = append(res.Ops, results[i]...)
 		sorted := sortSample(Latencies(results[i]))

@@ -13,19 +13,38 @@ import (
 
 // Operation codes for the commands we implement.
 const (
-	OpTestUnitReady  = 0x00
-	OpInquiry        = 0x12
-	OpReadCapacity10 = 0x25
-	OpRead10         = 0x28
-	OpWrite10        = 0x2A
-	OpSyncCache10    = 0x35
+	OpTestUnitReady        = 0x00
+	OpInquiry              = 0x12
+	OpReadCapacity10       = 0x25
+	OpRead10               = 0x28
+	OpWrite10              = 0x2A
+	OpSyncCache10          = 0x35
+	OpPersistentReserveIn  = 0x5E
+	OpPersistentReserveOut = 0x5F
 )
 
 // Status codes (SAM-5).
 const (
-	StatusGood           = 0x00
-	StatusCheckCondition = 0x02
-	StatusBusy           = 0x08
+	StatusGood                = 0x00
+	StatusCheckCondition      = 0x02
+	StatusBusy                = 0x08
+	StatusReservationConflict = 0x18
+)
+
+// PERSISTENT RESERVE OUT service actions (SPC-3 §6.12).
+const (
+	PRActionRegister = 0x00
+	PRActionReserve  = 0x01
+	PRActionRelease  = 0x02
+	PRActionClear    = 0x03
+	PRActionPreempt  = 0x04
+)
+
+// Persistent reservation types (SPC-3 table 107). Write-exclusive lets
+// other initiators read but not write; exclusive-access blocks both.
+const (
+	TypeWriteExclusive  = 0x01
+	TypeExclusiveAccess = 0x03
 )
 
 // CDB is a decoded command descriptor block.
@@ -33,6 +52,8 @@ type CDB struct {
 	Op     byte
 	LBA    uint32 // for READ/WRITE/SYNC CACHE
 	Length uint16 // transfer length in blocks (READ/WRITE) or alloc length
+	Action byte   // PERSISTENT RESERVE IN/OUT service action
+	RType  byte   // persistent reservation type (PR OUT)
 }
 
 // CDBSize is the encoded size of all CDBs we use (10-byte commands padded
@@ -49,6 +70,10 @@ func (c CDB) Encode() [CDBSize]byte {
 		binary.BigEndian.PutUint16(b[7:9], c.Length)
 	case OpInquiry:
 		binary.BigEndian.PutUint16(b[3:5], c.Length)
+	case OpPersistentReserveIn, OpPersistentReserveOut:
+		b[1] = c.Action & 0x1F
+		b[2] = c.RType & 0x0F
+		binary.BigEndian.PutUint16(b[7:9], c.Length)
 	case OpReadCapacity10, OpTestUnitReady:
 		// no operands
 	}
@@ -64,6 +89,10 @@ func DecodeCDB(b [CDBSize]byte) (CDB, error) {
 		c.Length = binary.BigEndian.Uint16(b[7:9])
 	case OpInquiry:
 		c.Length = binary.BigEndian.Uint16(b[3:5])
+	case OpPersistentReserveIn, OpPersistentReserveOut:
+		c.Action = b[1] & 0x1F
+		c.RType = b[2] & 0x0F
+		c.Length = binary.BigEndian.Uint16(b[7:9])
 	case OpReadCapacity10, OpTestUnitReady:
 	default:
 		return c, fmt.Errorf("scsi: unsupported opcode 0x%02x", c.Op)
@@ -95,6 +124,17 @@ func ReadCapacity10() CDB { return CDB{Op: OpReadCapacity10} }
 
 // TestUnitReady builds a TEST UNIT READY CDB.
 func TestUnitReady() CDB { return CDB{Op: OpTestUnitReady} }
+
+// PersistentReserveOut builds a PR OUT CDB for the given service action
+// and reservation type.
+func PersistentReserveOut(action, rtype byte) CDB {
+	return CDB{Op: OpPersistentReserveOut, Action: action, RType: rtype}
+}
+
+// PersistentReserveIn builds a PR IN CDB (READ RESERVATION).
+func PersistentReserveIn(alloc uint16) CDB {
+	return CDB{Op: OpPersistentReserveIn, Length: alloc}
+}
 
 // CapacityData encodes the 8-byte READ CAPACITY(10) response: the LBA of
 // the last block and the block size in bytes.

@@ -31,6 +31,11 @@ type Client struct {
 	// their own spans (see docs/TRACING.md).
 	Tracer *tracing.Tracer
 
+	// sharedF is the NFS handle on the cluster's shared file (see
+	// OpenShared in sharing.go; iSCSI clients address the shared LUN
+	// directly and leave it nil).
+	sharedF vfs.File
+
 	ops int64
 }
 

@@ -9,8 +9,10 @@ import (
 	"repro/internal/ext3"
 	"repro/internal/fleet"
 	"repro/internal/iscsi"
+	"repro/internal/lockmgr"
 	"repro/internal/metrics"
 	"repro/internal/netqueue"
+	"repro/internal/scsi"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/tracing"
@@ -93,6 +95,13 @@ type ClusterConfig struct {
 	// issuing client's id (see docs/TRACING.md). The scheduler runs one
 	// client's syscall to completion per step, so one tracer serves all.
 	Tracer *tracing.Tracer
+	// Sharing, when non-nil, enables cross-client sharing: an NFS
+	// cluster gets a server-side byte-range lock manager (and, with
+	// Delegation, the v4 lease machinery); an iSCSI cluster gets one
+	// extra raw LUN exported by every client's target under a shared
+	// persistent-reservation table (see sharing.go). Nil keeps all
+	// existing configurations byte-identical.
+	Sharing *SharingConfig
 }
 
 // DefaultTelemetryFanIn is the per-stratum client-source limit above which
@@ -117,6 +126,11 @@ func (c *ClusterConfig) validateCluster() error {
 	}
 	for _, co := range c.Background {
 		if err := co.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Sharing != nil {
+		if err := c.Sharing.validate(c.Kind); err != nil {
 			return err
 		}
 	}
@@ -171,6 +185,12 @@ type Cluster struct {
 	dev  *blockdev.Local   // NFS export device (nil for iSCSI)
 	luns []*blockdev.Local // iSCSI LUNs (nil for NFS)
 	srv  *nfsServer        // shared NFS server state (nil for iSCSI)
+
+	// Cross-client sharing state (nil unless Cfg.Sharing was set).
+	locks  *lockmgr.Manager     // NFS byte-range lock table (on the server)
+	deleg  *lockmgr.Delegations // NFSv4 lease table (with Sharing.Delegation)
+	rsv    *scsi.Reservations   // iSCSI persistent-reservation table
+	shared *blockdev.Local      // iSCSI shared LUN (raw, no filesystem)
 
 	fluid *fleet.Operating // solved background operating point (nil if none)
 
@@ -245,7 +265,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	var serverReady time.Duration
 	switch cfg.Kind {
 	case ISCSI:
-		cl.luns = blockdev.NewClusterArraySized(cfg.Clients, base.DeviceBlocks, capacity)
+		nluns, arrayCap := cfg.Clients, capacity
+		if cfg.Sharing != nil {
+			// One extra raw LUN on the same array, exported by every
+			// client's target and guarded by one reservation table.
+			nluns++
+			arrayCap++
+		}
+		cl.luns = blockdev.NewClusterArraySized(nluns, base.DeviceBlocks, arrayCap)
+		if cfg.Sharing != nil {
+			cl.shared = cl.luns[nluns-1]
+			cl.luns = cl.luns[:cfg.Clients]
+			cl.rsv = scsi.NewReservations()
+		}
 		for i, lun := range cl.luns {
 			if _, err := ext3.Mkfs(0, lun, ext3.Options{CommitInterval: base.CommitInterval}); err != nil {
 				return nil, fmt.Errorf("testbed: cluster mkfs lun %d: %w", i, err)
@@ -269,6 +301,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		serverReady = done
+		if cfg.Sharing != nil {
+			// The lock table lives on the protocol server, which
+			// survives export restarts; a crash-restart resets it and
+			// opens the grace window (see fault.go).
+			cl.locks = lockmgr.NewManager(lockmgr.Config{
+				LeaseTTL:    cfg.Sharing.LeaseTTL,
+				GracePeriod: cfg.Sharing.GracePeriod,
+			})
+			cl.srv.srv.Locks = cl.locks
+			if cfg.Sharing.Delegation {
+				cl.deleg = lockmgr.NewDelegations(cfg.Sharing.RecallLatency)
+			}
+		}
 	}
 
 	if len(cfg.Background) > 0 {
@@ -286,9 +331,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		var st Stack
 		if cfg.Kind == ISCSI {
 			name := fmt.Sprintf("iqn.2004.repro:vol%d", i)
-			st = &iscsiStack{hw: h, target: iscsi.NewTarget(name, cl.luns[i], cl.ServerCPU)}
+			tgt := iscsi.NewTarget(name, cl.luns[i], cl.ServerCPU)
+			if cl.rsv != nil {
+				tgt.SetShared(cl.shared, cl.rsv, i)
+			}
+			st = &iscsiStack{hw: h, target: tgt}
 		} else {
-			st = &nfsStack{kind: cfg.Kind, hw: h, srv: cl.srv}
+			ns := &nfsStack{kind: cfg.Kind, hw: h, srv: cl.srv}
+			if cfg.Sharing != nil {
+				ns.sharing = true
+				ns.shareID = i
+				ns.deleg = cl.deleg
+			}
+			st = ns
 		}
 		c := newClient(i, st)
 		c.CPU = cpu
@@ -415,6 +470,15 @@ func (cl *Cluster) instrument() {
 		cl.rec.Register(metrics.SubsysDisk, nil, cl.luns[0].Counters)
 	}
 	cl.rec.Register(metrics.SubsysCPU, metrics.Tags{"host": "server"}, cl.ServerCPU.Counters)
+	if cl.locks != nil {
+		cl.rec.Register(metrics.SubsysLock, nil, cl.locks.Counters)
+	}
+	if cl.deleg != nil {
+		cl.rec.Register(metrics.SubsysLease, nil, cl.deleg.Counters)
+	}
+	if cl.rsv != nil {
+		cl.rec.Register(metrics.SubsysLock, metrics.Tags{"proto": "scsi"}, cl.rsv.Counters)
+	}
 	if cl.fluid != nil {
 		cl.rec.Register(metrics.SubsysFleet,
 			metrics.Tags{"background": strconv.Itoa(cl.fluid.Background)}, cl.fleetCounters)
@@ -498,6 +562,29 @@ func (cl *Cluster) strata() []*stratum {
 
 // Metrics exposes the cluster's recorder (nil when un-instrumented).
 func (cl *Cluster) Metrics() *metrics.Recorder { return cl.rec }
+
+// Locks exposes the NFS byte-range lock manager (nil unless Sharing is
+// enabled on an NFS cluster).
+func (cl *Cluster) Locks() *lockmgr.Manager { return cl.locks }
+
+// Delegations exposes the v4 lease table (nil unless Sharing.Delegation
+// is enabled on an NFSv4 cluster). The replay oracle test resets it at
+// window open and reads its counters at close.
+func (cl *Cluster) Delegations() *lockmgr.Delegations { return cl.deleg }
+
+// Reservations exposes the iSCSI persistent-reservation table (nil
+// unless Sharing is enabled on an iSCSI cluster).
+func (cl *Cluster) Reservations() *scsi.Reservations { return cl.rsv }
+
+// ServerRequests reports the cumulative NFS server request count (0 for
+// iSCSI clusters): the message-side counter the delegation oracle
+// differences across a measurement window.
+func (cl *Cluster) ServerRequests() int64 {
+	if cl.srv == nil || cl.srv.srv == nil {
+		return 0
+	}
+	return cl.srv.srv.Counters()["requests"]
+}
 
 // EmitSample streams every registered counter's delta since the previous
 // sample, stamped at the cluster horizon.

@@ -53,7 +53,23 @@ func (cl *Cluster) CrashServer() {
 // RecoverClient to re-establish their own state.
 func (cl *Cluster) RestartServer(now time.Duration) (time.Duration, error) {
 	if cl.srv != nil {
-		return cl.srv.mount(now)
+		done, err := cl.srv.mount(now)
+		if err != nil {
+			return done, err
+		}
+		if cl.locks != nil {
+			// The lock table was volatile server memory: drop it and open
+			// the NLM/NSM grace window, during which only reclaims of
+			// pre-crash locks are admitted (RecoverClient issues them).
+			cl.locks.Reset()
+			cl.locks.EnterGrace(done)
+		}
+		if cl.deleg != nil {
+			// Delegation leases died with the server; clients reacquire
+			// them on their next access, paying the usual one message.
+			cl.deleg.Reset()
+		}
+		return done, nil
 	}
 	for _, c := range cl.Clients {
 		c.Stack.(*iscsiStack).target.Restart()
@@ -118,6 +134,14 @@ func (cl *Cluster) RecoverClient(i int, now time.Duration, force bool) (time.Dur
 		return now, true, fmt.Errorf("testbed: recover client %d: %w", i, err)
 	}
 	c.syncFS()
+	if st, ok := c.Stack.(*nfsStack); ok && st.sharing && st.client.HeldLockCount() > 0 {
+		// Re-assert locks held before the fault through the server's
+		// grace window (each reclaim is one LOCK RPC).
+		done, err = st.client.ReclaimLocks(done)
+		if err != nil {
+			return done, true, fmt.Errorf("testbed: reclaim client %d: %w", i, err)
+		}
+	}
 	return done, true, nil
 }
 

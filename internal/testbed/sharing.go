@@ -1,0 +1,209 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/iscsi"
+	"repro/internal/scsi"
+	"repro/internal/vfs"
+)
+
+// Cross-client sharing: the testbed surface for contention workloads.
+//
+// Both stacks expose the same shared-object syscalls — open, read/write
+// at an offset, try-lock and unlock — but the protocols underneath are
+// deliberately asymmetric, which is the point of the comparison:
+//
+//   - NFS shares a file (SharedPath on the common export). Locks are
+//     byte-range NLM locks against the server's lock manager; every
+//     lock attempt, granted or denied, is one LOCK RPC.
+//   - iSCSI shares a raw LUN (iscsi.SharedLUN, exported by every
+//     client's target over one persistent-reservation table). The only
+//     lock SPC-3 gives us is whole-LUN: an exclusive lock maps to a
+//     write-exclusive persistent reservation, and a shared lock maps to
+//     nothing at all — concurrent readers need no reservation, so it is
+//     a free local no-op where NFS still pays an RPC.
+//
+// Lock acquisition never blocks inside an op (the cooperative scheduler
+// forbids it); a denied TryLockShared returns false and the workload
+// polls, which is faithful to both NLM-over-UDP and reservation-retry
+// behavior.
+
+// SharingConfig enables the cross-client sharing machinery on a cluster.
+type SharingConfig struct {
+	// Delegation enables the NFSv4 delegation fast path (NFSv4 only):
+	// clients serve operations on leased paths locally and the server
+	// recalls leases on conflict, mirroring trace.SimulateDelegation.
+	Delegation bool
+	// LeaseTTL expires a client's locks when it issues no lock traffic
+	// for this long (0 = never).
+	LeaseTTL time.Duration
+	// GracePeriod is the reclaim-only window after a server restart.
+	GracePeriod time.Duration
+	// RecallLatency is the virtual-time cost a conflicting operation
+	// pays for the server's CB_RECALL round (0 matches the simulator's
+	// instantaneous-recall model).
+	RecallLatency time.Duration
+}
+
+// validate rejects unusable sharing parameters.
+func (s *SharingConfig) validate(kind Kind) error {
+	if s.LeaseTTL < 0 || s.GracePeriod < 0 || s.RecallLatency < 0 {
+		return fmt.Errorf("testbed: negative sharing duration")
+	}
+	if s.Delegation && kind != NFSv4 {
+		return fmt.Errorf("testbed: delegation requires NFSv4, got %s", kind)
+	}
+	return nil
+}
+
+// SharedPath is the shared file every NFS client contends on (the iSCSI
+// analogue is the shared LUN, which has no name).
+const SharedPath = "/shared0"
+
+// ErrBusy reports that a shared-object operation was refused because of
+// another client's lock or reservation; the caller should poll.
+var ErrBusy = errors.New("testbed: shared object busy")
+
+// sharedEndpoint is the shared-LUN surface both iSCSI endpoints
+// (Initiator and Session) implement.
+type sharedEndpoint interface {
+	Reserve(at time.Duration, rtype byte) (bool, time.Duration, error)
+	Release(at time.Duration) (time.Duration, error)
+	SharedRead(at time.Duration, lba int64, buf []byte) (time.Duration, error)
+	SharedWrite(at time.Duration, lba int64, data []byte) (time.Duration, error)
+	BlockSize() int
+}
+
+// sharedEP resolves the client's shared-LUN endpoint (iSCSI stacks only).
+func (c *Client) sharedEP() (sharedEndpoint, bool) {
+	st, ok := c.Stack.(*iscsiStack)
+	if !ok {
+		return nil, false
+	}
+	ep, ok := st.endpoint.(sharedEndpoint)
+	return ep, ok
+}
+
+// OpenShared opens the cluster's shared object. On NFS this opens (or,
+// with create set, creates) SharedPath and holds it open for
+// SharedReadAt/SharedWriteAt; on iSCSI the shared LUN needs no open and
+// the call costs nothing.
+func (c *Client) OpenShared(create bool) error {
+	if _, ok := c.sharedEP(); ok {
+		return nil
+	}
+	var (
+		f   vfs.File
+		err error
+	)
+	if create {
+		f, err = c.Create(SharedPath)
+	} else {
+		f, err = c.Open(SharedPath)
+	}
+	if err != nil {
+		return err
+	}
+	c.sharedF = f
+	return nil
+}
+
+// SharedReadAt reads len(buf) bytes at byte offset off from the shared
+// object. On iSCSI the extent must be block-aligned (the LUN is raw) and
+// a foreign exclusive-access reservation surfaces as ErrBusy.
+func (c *Client) SharedReadAt(off int64, buf []byte) error {
+	if ep, ok := c.sharedEP(); ok {
+		bs := int64(ep.BlockSize())
+		if off%bs != 0 || int64(len(buf))%bs != 0 {
+			return fmt.Errorf("testbed: unaligned shared read [%d,+%d)", off, len(buf))
+		}
+		now := c.Clock.Now()
+		ref := c.beginOp(now, "read")
+		done, err := ep.SharedRead(now, off/bs, buf)
+		c.Tracer.End(ref, done)
+		return c.shareErr(c.run(done, err))
+	}
+	if c.sharedF == nil {
+		return fmt.Errorf("testbed: shared file not open")
+	}
+	_, err := c.ReadFileAt(c.sharedF, off, buf)
+	return err
+}
+
+// SharedWriteAt writes data at byte offset off in the shared object. On
+// iSCSI any foreign reservation surfaces as ErrBusy.
+func (c *Client) SharedWriteAt(off int64, data []byte) error {
+	if ep, ok := c.sharedEP(); ok {
+		bs := int64(ep.BlockSize())
+		if off%bs != 0 || int64(len(data))%bs != 0 {
+			return fmt.Errorf("testbed: unaligned shared write [%d,+%d)", off, len(data))
+		}
+		now := c.Clock.Now()
+		ref := c.beginOp(now, "write")
+		done, err := ep.SharedWrite(now, off/bs, data)
+		c.Tracer.End(ref, done)
+		return c.shareErr(c.run(done, err))
+	}
+	if c.sharedF == nil {
+		return fmt.Errorf("testbed: shared file not open")
+	}
+	_, err := c.WriteFileAt(c.sharedF, off, data)
+	return err
+}
+
+// TryLockShared attempts to lock [off, off+length) of the shared object
+// (length <= 0 = to EOF). A false return with nil error is a denial —
+// poll again. On NFS every attempt is one LOCK RPC; on iSCSI an
+// exclusive lock is a whole-LUN write-exclusive persistent reservation
+// (the byte range is ignored — SPC-3 has nothing finer) and a shared
+// lock is a free no-op, since only writers need excluding.
+func (c *Client) TryLockShared(off, length int64, excl bool) (bool, error) {
+	if ep, ok := c.sharedEP(); ok {
+		if !excl {
+			return true, nil
+		}
+		now := c.Clock.Now()
+		ref := c.beginOp(now, "lock")
+		got, done, err := ep.Reserve(now, scsi.TypeWriteExclusive)
+		c.Tracer.End(ref, done)
+		return got, c.run(done, err)
+	}
+	st := c.Stack.(*nfsStack)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "lock")
+	got, done, err := st.client.Lock(now, SharedPath, off, length, excl, false)
+	c.Tracer.End(ref, done)
+	return got, c.run(done, err)
+}
+
+// UnlockShared releases a lock taken with TryLockShared.
+func (c *Client) UnlockShared(off, length int64, excl bool) error {
+	if ep, ok := c.sharedEP(); ok {
+		if !excl {
+			return nil
+		}
+		now := c.Clock.Now()
+		ref := c.beginOp(now, "unlock")
+		done, err := ep.Release(now)
+		c.Tracer.End(ref, done)
+		return c.run(done, err)
+	}
+	st := c.Stack.(*nfsStack)
+	now := c.Clock.Now()
+	ref := c.beginOp(now, "unlock")
+	done, err := st.client.Unlock(now, SharedPath, off, length)
+	c.Tracer.End(ref, done)
+	return c.run(done, err)
+}
+
+// shareErr maps a reservation conflict to ErrBusy (the cross-protocol
+// "locked by someone else" signal) and passes everything else through.
+func (c *Client) shareErr(err error) error {
+	if errors.Is(err, iscsi.ErrReservationConflict) {
+		return ErrBusy
+	}
+	return err
+}

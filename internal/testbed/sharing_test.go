@@ -1,0 +1,205 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLockGracePeriod walks the NLM/NSM crash-recovery protocol end to
+// end: a held lock dies with the server, the restart opens a reclaim-only
+// grace window in which fresh requests are denied (grace_denials), the
+// victim's recovery remounts and re-claims its lock (grace_reclaims),
+// and after the window closes the lock table behaves normally again.
+func TestLockGracePeriod(t *testing.T) {
+	const grace = 500 * time.Millisecond
+	cl, err := NewCluster(ClusterConfig{
+		Kind:    NFSv3,
+		Clients: 2,
+		Sharing: &SharingConfig{GracePeriod: grace},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := cl.Clients[0], cl.Clients[1]
+	if err := c0.OpenShared(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.OpenShared(false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c0.TryLockShared(0, 4096, true)
+	if err != nil || !got {
+		t.Fatalf("initial lock: got=%v err=%v", got, err)
+	}
+
+	// Server power failure: the lock table is volatile memory.
+	cl.CrashServer()
+	now := cl.Align()
+	ready, err := cl.RestartServer(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Locks().InGrace(ready) {
+		t.Fatal("restart did not open the grace window")
+	}
+	if got := len(cl.Locks().Held()); got != 0 {
+		t.Fatalf("lock table survived the crash: %d held", got)
+	}
+	c0.Clock.AdvanceTo(ready)
+	c1.Clock.AdvanceTo(ready)
+
+	// A fresh request during grace is denied even though nothing
+	// conflicts — the window is reclaim-only.
+	got, err = c1.TryLockShared(4096, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("fresh lock granted during grace period")
+	}
+	if c := cl.Locks().Counters(); c["grace_denials"] == 0 {
+		t.Fatalf("no grace denials counted: %v", c)
+	}
+
+	// The victim recovers: remount carries its held-lock list over and
+	// re-claims through the grace window.
+	done, repaired, err := cl.RecoverClient(0, c0.Clock.Now(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repaired {
+		t.Fatal("forced recovery did nothing")
+	}
+	c0.Clock.AdvanceTo(done)
+	held := cl.Locks().Held()
+	if len(held) != 1 || held[0].Client != 0 {
+		t.Fatalf("reclaim did not restore the lock: %v", held)
+	}
+	if c := cl.Locks().Counters(); c["grace_reclaims"] == 0 {
+		t.Fatalf("no grace reclaims counted: %v", c)
+	}
+
+	// Past the window, normal service resumes: the reclaimed lock still
+	// excludes an overlapping request, and a disjoint one is granted.
+	c1.Idle(grace + time.Millisecond)
+	got, err = c1.TryLockShared(0, 4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("overlapping lock granted despite reclaimed holder")
+	}
+	got, err = c1.TryLockShared(8192, 4096, true)
+	if err != nil || !got {
+		t.Fatalf("disjoint lock after grace: got=%v err=%v", got, err)
+	}
+	if err := c0.UnlockShared(0, 4096, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c1.TryLockShared(0, 4096, true)
+	if err != nil || !got {
+		t.Fatalf("lock after holder released: got=%v err=%v", got, err)
+	}
+}
+
+// TestSharedFileVisibility checks that a locked write by one NFS client
+// is readable by another through the shared file. The reader opens
+// after the writer's close — NFS promises close-to-open consistency,
+// not live cache coherence, and the open's revalidation is what makes
+// the fresh bytes visible.
+func TestSharedFileVisibility(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Kind:    NFSv3,
+		Clients: 2,
+		Sharing: &SharingConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := cl.Clients[0], cl.Clients[1]
+	if err := c0.OpenShared(true); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	if got, err := c0.TryLockShared(0, 0, true); err != nil || !got {
+		t.Fatalf("lock: got=%v err=%v", got, err)
+	}
+	if err := c0.SharedWriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.UnlockShared(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Align()
+	if err := c1.OpenShared(false); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := c1.SharedReadAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x, want 0xab", i, b)
+		}
+	}
+}
+
+// TestSharedLUNReservations checks the iSCSI side: the shared LUN is
+// visible to both clients, a write-exclusive reservation blocks foreign
+// writes (ErrBusy) while allowing foreign reads, and release restores
+// access.
+func TestSharedLUNReservations(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{
+		Kind:    ISCSI,
+		Clients: 2,
+		Sharing: &SharingConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, c1 := cl.Clients[0], cl.Clients[1]
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = 0x5C
+	}
+	if got, err := c0.TryLockShared(0, 0, true); err != nil || !got {
+		t.Fatalf("reserve: got=%v err=%v", got, err)
+	}
+	if err := c0.SharedWriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign write bounces off the reservation; foreign read passes
+	// (write-exclusive, not exclusive-access).
+	if err := c1.SharedWriteAt(4096, data); err != ErrBusy {
+		t.Fatalf("foreign write err=%v, want ErrBusy", err)
+	}
+	buf := make([]byte, 4096)
+	if err := c1.SharedReadAt(0, buf); err != nil {
+		t.Fatalf("foreign read under write-exclusive: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0x5C {
+			t.Fatalf("byte %d = %#x, want 0x5c", i, b)
+		}
+	}
+	// A second reservation attempt conflicts until the holder releases.
+	if got, err := c1.TryLockShared(0, 0, true); err != nil || got {
+		t.Fatalf("foreign reserve: got=%v err=%v, want denial", got, err)
+	}
+	if err := c0.UnlockShared(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c1.TryLockShared(0, 0, true); err != nil || !got {
+		t.Fatalf("reserve after release: got=%v err=%v", got, err)
+	}
+	if err := c1.SharedWriteAt(4096, data); err != nil {
+		t.Fatalf("write after takeover: %v", err)
+	}
+}

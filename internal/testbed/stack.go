@@ -7,6 +7,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/ext3"
 	"repro/internal/iscsi"
+	"repro/internal/lockmgr"
 	"repro/internal/nfs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -161,6 +162,13 @@ type nfsStack struct {
 	client  *nfs.Client
 	rpcBase sunrpc.Stats
 	tcpBase tcpsim.Stats
+
+	// Cross-client sharing identity (cluster-assigned, see sharing.go):
+	// Mount re-applies it to every rebuilt protocol client so held locks
+	// and the lease fast path survive remounts.
+	sharing bool
+	shareID int
+	deleg   *lockmgr.Delegations
 }
 
 func (st *nfsStack) Kind() Kind         { return st.kind }
@@ -220,9 +228,14 @@ func (st *nfsStack) Mount(now time.Duration) (time.Duration, error) {
 		}
 		st.rpc.SetConn(st.conn)
 	}
+	old := st.client
 	st.client = nfs.NewClient(ver, st.rpc, st.srv.srv, st.hw.cpu)
 	st.client.SetTracer(st.hw.cfg.Tracer)
 	st.client.SetCacheCapacity(st.hw.cfg.ClientCacheBlocks)
+	if st.sharing {
+		st.client.SetSharing(st.shareID, st.deleg)
+		st.client.AdoptLocks(old)
+	}
 	done, err := st.client.Mount(now)
 	if err != nil {
 		return now, fmt.Errorf("testbed: nfs mount: %w", err)

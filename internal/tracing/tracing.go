@@ -24,6 +24,7 @@ import "time"
 const (
 	LayerSyscall   = "syscall"    // testbed.Client syscall surface (root spans)
 	LayerCache     = "cache"      // ext3 buffer-cache miss handling
+	LayerLock      = "lock"       // lock/reservation exchanges + delegation recall waits
 	LayerRPC       = "rpc"        // sunrpc exchange (slot waits, per-proc spans)
 	LayerISCSI     = "iscsi"      // iSCSI command exchange (initiator or MC/S session)
 	LayerUDP       = "udp"        // NFS datagram transport leg (incl. retransmit waits)
@@ -37,8 +38,9 @@ const (
 
 // Layers lists the vocabulary in display order (client to platter).
 var Layers = []string{
-	LayerSyscall, LayerCache, LayerRPC, LayerISCSI, LayerUDP, LayerTCP,
-	LayerLink, LayerQueue, LayerCPUClient, LayerCPUServer, LayerDisk,
+	LayerSyscall, LayerCache, LayerLock, LayerRPC, LayerISCSI, LayerUDP,
+	LayerTCP, LayerLink, LayerQueue, LayerCPUClient, LayerCPUServer,
+	LayerDisk,
 }
 
 // validLayer is the O(1) membership check behind Span.Validate.
