@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/replay"
 	"repro/internal/sim"
@@ -607,6 +608,56 @@ func BenchmarkFault(b *testing.B) {
 	report(b, iscsiTTR, "iscsi-crash-ttr-ms")
 	report(b, nfsDegr, "nfs-degraded-ops/s")
 	report(b, iscsiDegr, "iscsi-degraded-ops/s")
+}
+
+// BenchmarkHealth measures the health monitor's scrape cost on one
+// NFS v3 server-crash recovery cell — the identical fault sweep with
+// the monitor detached (nil = the inert path every cluster carries
+// unconditionally) against attached with the default SLO set — and
+// reports the attached overhead percentage plus the monitored cell's
+// crash detection latency and gauge volume for the perf trajectory.
+func BenchmarkHealth(b *testing.B) {
+	faultCell := func(h *health.Config) time.Duration {
+		start := time.Now()
+		if _, err := core.RunFault(core.FaultConfig{
+			Families:   []fault.Family{fault.ServerCrash},
+			Stacks:     []core.Stack{core.NFSv3},
+			Transports: []testbed.Transport{testbed.TransportFluid},
+			Seed:       7,
+			Health:     h,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var detached, attached time.Duration
+	var ttdMs, gauges float64
+	for i := 0; i < b.N; i++ {
+		detached += faultCell(nil)
+		attached += faultCell(&health.Config{})
+		cells, err := core.RunHealth(core.HealthConfig{
+			Families:   []fault.Family{fault.ServerCrash},
+			Stacks:     []core.Stack{core.NFSv3},
+			Transports: []testbed.Transport{testbed.TransportFluid},
+			Seed:       5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if !c.Control {
+				ttdMs = float64(c.TTD.Milliseconds())
+				gauges = float64(c.GaugeEvents)
+			}
+		}
+	}
+	var overhead float64
+	if detached > 0 {
+		overhead = 100 * (float64(attached)/float64(detached) - 1)
+	}
+	report(b, overhead, "attached-overhead-%")
+	report(b, ttdMs, "crash-ttd-ms")
+	report(b, gauges, "gauge-events/cell")
 }
 
 // BenchmarkContention runs the lock ping-pong cell on both sharing

@@ -1,13 +1,15 @@
-// Command fault runs the failure-and-recovery sweep: deterministic
-// fault injection (server crash + journal-replay reboot, RAID member
-// failure + contended rebuild, link partitions, client crash) against
-// every selected stack and transport, reporting time-to-recover,
-// degraded-mode throughput, and lost/retried op counts per cell. The
-// same seed yields a byte-identical failure timeline and metric stream.
+// Command health runs the detection-quality sweep: for every selected
+// stack and transport it first runs a fault-free control cell (the
+// fault plan's timeline replayed without firing, so any alert is a
+// false positive by construction), then replays each fault family with
+// the SLO health monitor attached, scoring the alert timeline against
+// the fault's ground truth — time-to-detect, time-to-resolve, false
+// positives and negatives per cell. The same seed yields a
+// byte-identical gauge stream and alert timeline.
 //
-//	go run ./cmd/fault
-//	go run ./cmd/fault -families server-crash,disk-fail -stacks nfsv3,iscsi
-//	go run ./cmd/fault -outage 5s -transports tcp -metrics fault.jsonl
+//	go run ./cmd/health
+//	go run ./cmd/health -families server-crash -stacks nfsv3,iscsi
+//	go run ./cmd/health -slo objectives.json -metrics health.jsonl
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/metrics"
 )
 
@@ -37,10 +40,15 @@ func main() {
 	window := flag.Int("window", 64, "per-connection TCP window cap in KB")
 	blocks := flag.Int64("blocks", 16384, "volume size in 4 KB blocks")
 	seed := flag.Int64("seed", 0, "simulation seed (drives fault-instant jitter)")
+	slo := flag.String("slo", "",
+		"SLO spec JSON (see docs/HEALTH.md; default: the built-in objectives)")
+	interval := flag.Duration("interval", 0,
+		"gauge scrape period (default 100ms, or the spec's interval)")
+	cooldown := flag.Duration("cooldown", core.DefaultHealthCooldown,
+		"run past the last heal this long so resolves land in-cell")
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
 	trc := cliutil.TraceFlags()
-	hlt := cliutil.HealthFlags()
 	flag.Parse()
 
 	if err := prof.Start(); err != nil {
@@ -50,11 +58,7 @@ func main() {
 	if err != nil {
 		fatal(err.Error())
 	}
-	healthCfg, err := hlt.Config(*metricsPath)
-	if err != nil {
-		fatal(err.Error())
-	}
-	cfg := core.FaultConfig{
+	cfg := core.HealthConfig{
 		Clients:      *clients,
 		Warmup:       *warmup,
 		Outage:       *outage,
@@ -64,8 +68,19 @@ func main() {
 		WindowBytes:  *window << 10,
 		DeviceBlocks: *blocks,
 		Seed:         *seed,
-		Health:       healthCfg,
+		Interval:     *interval,
+		Cooldown:     *cooldown,
 		Tracer:       tracer,
+	}
+	if *slo != "" {
+		spec, err := health.LoadSpec(*slo)
+		if err != nil {
+			fatal(err.Error())
+		}
+		cfg.Objectives = spec.Objectives
+		if cfg.Interval == 0 {
+			cfg.Interval = spec.Interval
+		}
 	}
 	if strings.ToLower(strings.TrimSpace(*families)) != "all" {
 		for _, s := range strings.Split(*families, ",") {
@@ -106,17 +121,20 @@ func main() {
 	if *warmup <= 0 || *outage <= 0 {
 		fatal("bad -warmup/-outage: durations must be positive")
 	}
+	if *interval < 0 || *cooldown <= 0 {
+		fatal("bad -interval/-cooldown: durations must be positive")
+	}
 
 	sink, closeSink, err := metrics.OpenFileSink(*metricsPath)
 	if err != nil {
 		fatal(err.Error())
 	}
-	cfg.Metrics = metrics.NewRecorder(sink, metrics.Tags{"cmd": "fault"})
-	cells, err := core.RunFault(cfg)
+	cfg.Metrics = metrics.NewRecorder(sink, metrics.Tags{"cmd": "health"})
+	cells, err := core.RunHealth(cfg)
 	if err != nil {
 		fatal(err.Error())
 	}
-	core.RenderFault(os.Stdout, cells)
+	core.RenderHealth(os.Stdout, cells)
 	if err := trc.Write(); err != nil {
 		fatal(err.Error())
 	}
@@ -132,6 +150,6 @@ func main() {
 }
 
 func fatal(msg string) {
-	fmt.Fprintln(os.Stderr, "fault:", msg)
+	fmt.Fprintln(os.Stderr, "health:", msg)
 	os.Exit(1)
 }

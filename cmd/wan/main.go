@@ -45,6 +45,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write JSONL telemetry events to this file (see docs/METRICS.md)")
 	prof := cliutil.ProfileFlags()
 	trc := cliutil.TraceFlags()
+	hlt := cliutil.HealthFlags()
 	flag.Parse()
 
 	if err := prof.Start(); err != nil {
@@ -54,12 +55,17 @@ func main() {
 	if err != nil {
 		fatal(err.Error())
 	}
+	healthCfg, err := hlt.Config(*metricsPath)
+	if err != nil {
+		fatal(err.Error())
+	}
 	cfg := core.WANConfig{
 		QueueBytes:  *queueKB << 10,
 		Conns:       *conns,
 		WindowBytes: *window << 10,
 		FileSize:    *sizeKB << 10,
 		Seed:        *seed,
+		Health:      healthCfg,
 		Tracer:      tracer,
 	}
 	if cfg.Counts, err = cliutil.Ints(*clients, "clients", 1, cliutil.MaxMechClients); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/testbed"
@@ -47,6 +48,11 @@ type FaultConfig struct {
 	DeviceBlocks int64
 	// Seed drives fault-instant jitter, loss and workload randomness.
 	Seed int64
+	// Health, when non-nil, attaches a gauge scraper + SLO engine to
+	// every cell (alert state is per-cell: each cell gets its own
+	// monitor built from this spec). Nil keeps the sweep byte-identical
+	// to a health-free run.
+	Health *health.Config
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes as experiment=fault (see docs/METRICS.md).
 	Metrics *metrics.Recorder
@@ -147,6 +153,13 @@ func runFaultCell(cfg FaultConfig, f fault.Family, stack Stack, tr testbed.Trans
 		"clients": itoa(cfg.Clients),
 		"conns":   itoa(conns),
 	}
+	var mon *health.Monitor
+	if cfg.Health != nil {
+		var err error
+		if mon, err = health.New(*cfg.Health); err != nil {
+			return FaultCell{}, err
+		}
+	}
 	cl, err := testbed.NewCluster(testbed.ClusterConfig{
 		Kind:         stack,
 		Clients:      cfg.Clients,
@@ -157,6 +170,7 @@ func runFaultCell(cfg FaultConfig, f fault.Family, stack Stack, tr testbed.Trans
 		WindowBytes:  cfg.WindowBytes,
 		Metrics:      cellRecorder(cfg.Metrics, "fault", stack, tags),
 		Tracer:       cfg.Tracer,
+		Health:       mon,
 	})
 	if err != nil {
 		if errors.Is(err, simnet.ErrTransportBroken) {

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/health"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/testbed"
+	"repro/internal/tracing"
+)
+
+// Health experiment: detection quality against fault ground truth. Each
+// cell attaches a fresh health monitor to a fresh cluster, replays a
+// seeded fault plan (internal/fault), and scores the monitor's alert
+// timeline against the plan's inject/heal instants: time-to-detect,
+// time-to-resolve, false positives and negatives. Every stack/transport
+// variant also runs a fault-free control cell — the same plan timeline
+// dry-run, so any alert that fires is a false positive by construction.
+// It converts the fault axis from "measure recovery" into "measure
+// whether an operator would have noticed".
+
+// DefaultHealthCooldown extends each fault run past its last heal long
+// enough for the slow burn window to drain and the resolve transition to
+// land inside the cell (the fault sweep's own 2s default cuts that off).
+const DefaultHealthCooldown = 4 * time.Second
+
+// HealthConfig parameterizes the detection-quality sweep.
+type HealthConfig struct {
+	// Families restricts the fault families (default all four).
+	Families []fault.Family
+	// Stacks restricts the sweep (default all four).
+	Stacks []Stack
+	// Transports are the wire models swept (default fluid and TCP).
+	Transports []testbed.Transport
+	// Clients is the cluster size (default 2: a victim and a witness).
+	Clients int
+	// Warmup is the fault-free lead-in; Outage each inject-to-heal
+	// distance; Flaps the link-flap cycle count (see fault.PlanConfig).
+	Warmup, Outage time.Duration
+	Flaps          int
+	// Victim selects the crashed client / failed array member.
+	Victim int
+	// Conns is the iSCSI MC/S connection count under TCP (default 1).
+	Conns int
+	// WindowBytes caps each TCP connection's window (default 64 KB).
+	WindowBytes int
+	// DeviceBlocks sizes each volume in 4 KB blocks (default 16384).
+	DeviceBlocks int64
+	// Seed drives fault-instant jitter, loss and workload randomness.
+	Seed int64
+	// Interval is the gauge scrape period (default health.DefaultInterval).
+	Interval time.Duration
+	// Objectives is the SLO set each cell evaluates (default
+	// health.DefaultObjectives).
+	Objectives []health.Objective
+	// Cooldown extends each run past the last heal (default
+	// DefaultHealthCooldown).
+	Cooldown time.Duration
+	// Metrics, when non-nil, receives per-cell telemetry tagged with the
+	// sweep axes as experiment=health (see docs/METRICS.md).
+	Metrics *metrics.Recorder
+	// Tracer, when non-nil, records per-op span trees for every cell.
+	Tracer *tracing.Tracer
+}
+
+func (c *HealthConfig) fill() {
+	if len(c.Families) == 0 {
+		c.Families = append([]fault.Family(nil), fault.Families...)
+	}
+	if len(c.Stacks) == 0 {
+		c.Stacks = testbed.AllKinds
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []testbed.Transport{testbed.TransportFluid, testbed.TransportTCP}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Conns == 0 {
+		c.Conns = 1
+	}
+	if c.DeviceBlocks == 0 {
+		c.DeviceBlocks = 16384
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultHealthCooldown
+	}
+}
+
+// HealthCell is one (family, stack, transport) detection measurement —
+// or a fault-free control cell (Control set, Family "control").
+type HealthCell struct {
+	// Family is the injected fault family ("control" for the dry-run
+	// control cell).
+	Family fault.Family
+	// Stack and Transport are the cluster variant.
+	Stack     Stack
+	Transport testbed.Transport
+	// Control marks the fault-free dry-run cell.
+	Control bool
+
+	// Inject/Recovered/TTR are the fault's ground truth (zero on
+	// control cells).
+	Inject, Recovered, TTR time.Duration
+	// Detected/TTD: some objective fired at or after the injection, and
+	// how long after.
+	Detected bool
+	TTD      time.Duration
+	// Resolved/TTResolve: a resolve followed the recovery, and how long
+	// after.
+	Resolved  bool
+	TTResolve time.Duration
+	// Fires / FalsePositives / FalseNegatives grade the alert timeline
+	// (see health.Score).
+	Fires, FalsePositives, FalseNegatives int
+	// Scrapes and GaugeEvents size the monitor's work in the cell.
+	Scrapes, GaugeEvents int64
+	// Collapsed marks a cell whose service never recovered (scoring is
+	// then detection-only).
+	Collapsed bool
+}
+
+// Label names the variant the way the tables print it.
+func (c HealthCell) Label() string {
+	if c.Stack == ISCSI && c.Transport == testbed.TransportTCP {
+		return fmt.Sprintf("%s/tcp", c.Stack)
+	}
+	return fmt.Sprintf("%s/%s", c.Stack, c.Transport)
+}
+
+// controlFamily tags the fault-free dry-run cells.
+const controlFamily = fault.Family("control")
+
+// RunHealth sweeps detection quality over {family x stack x transport}:
+// for each stack/transport variant, one fault-free control cell first,
+// then one cell per fault family. Cells come out in deterministic
+// order; identical seeds give byte-identical gauge streams and alert
+// timelines (test-enforced). Invalid pairs (iSCSI over UDP) are
+// skipped.
+func RunHealth(cfg HealthConfig) ([]HealthCell, error) {
+	cfg.fill()
+	var cells []HealthCell
+	for _, stack := range cfg.Stacks {
+		for _, tr := range cfg.Transports {
+			if stack == ISCSI && tr == testbed.TransportUDP {
+				continue
+			}
+			cell, err := runHealthCell(cfg, fault.ServerCrash, stack, tr, true)
+			if err != nil {
+				return nil, fmt.Errorf("health control %v(%v): %w", stack, tr, err)
+			}
+			cells = append(cells, cell)
+			for _, f := range cfg.Families {
+				cell, err := runHealthCell(cfg, f, stack, tr, false)
+				if err != nil {
+					return nil, fmt.Errorf("health %s/%v(%v): %w", f, stack, tr, err)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// runHealthCell builds one cluster with its own monitor (alert state is
+// per-cell), replays one fault plan — dry-run for the control — and
+// scores the alert timeline against the plan's ground truth.
+func runHealthCell(cfg HealthConfig, f fault.Family, stack Stack, tr testbed.Transport, control bool) (HealthCell, error) {
+	family := f
+	if control {
+		family = controlFamily
+	}
+	axes := HealthCell{Family: family, Stack: stack, Transport: tr, Control: control}
+	conns := 1
+	if stack == ISCSI && tr == testbed.TransportTCP {
+		conns = cfg.Conns
+	}
+	tags := metrics.Tags{
+		"family":  string(family),
+		"clients": itoa(cfg.Clients),
+		"conns":   itoa(conns),
+	}
+	mon, err := health.New(health.Config{Interval: cfg.Interval, Objectives: cfg.Objectives})
+	if err != nil {
+		return HealthCell{}, err
+	}
+	cl, err := testbed.NewCluster(testbed.ClusterConfig{
+		Kind:         stack,
+		Clients:      cfg.Clients,
+		DeviceBlocks: cfg.DeviceBlocks,
+		Seed:         cfg.Seed,
+		Transport:    tr,
+		Conns:        conns,
+		WindowBytes:  cfg.WindowBytes,
+		Metrics:      cellRecorder(cfg.Metrics, "health", stack, tags),
+		Tracer:       cfg.Tracer,
+		Health:       mon,
+	})
+	if err != nil {
+		if errors.Is(err, simnet.ErrTransportBroken) {
+			axes.Collapsed = true
+			return axes, nil
+		}
+		return HealthCell{}, err
+	}
+	plan, err := fault.NewPlan(f, fault.PlanConfig{
+		Warmup: cfg.Warmup,
+		Outage: cfg.Outage,
+		Flaps:  cfg.Flaps,
+		Victim: cfg.Victim,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return HealthCell{}, err
+	}
+
+	beginClusterCell(cl, nil)
+	res, err := fault.Run(cl, fault.Config{Plan: plan, Cooldown: cfg.Cooldown, DryRun: control})
+	if err != nil {
+		if errors.Is(err, simnet.ErrTransportBroken) {
+			endClusterCell(cl, nil, map[string]float64{"collapsed": 1})
+			axes.Collapsed = true
+			return axes, nil
+		}
+		return HealthCell{}, err
+	}
+
+	cell := axes
+	cell.Scrapes, cell.GaugeEvents = mon.Scrapes(), mon.GaugeEvents()
+	var sc health.Score
+	if control {
+		sc = health.ScoreControl(mon.Transitions())
+	} else {
+		cell.Inject, cell.Recovered, cell.TTR = res.Inject, res.Recovered, res.TTR
+		cell.Collapsed = res.Collapsed
+		sc = health.ScoreTimeline(mon.Transitions(), res.Inject, res.Recovered)
+	}
+	cell.Detected, cell.TTD = sc.Detected, sc.TTD
+	cell.Resolved, cell.TTResolve = sc.Resolved, sc.TTResolve
+	cell.Fires, cell.FalsePositives, cell.FalseNegatives = sc.Fires, sc.FalsePositives, sc.FalseNegatives
+
+	results := map[string]float64{
+		"fires":           float64(cell.Fires),
+		"false_positives": float64(cell.FalsePositives),
+		"scrapes":         float64(cell.Scrapes),
+		"gauge_events":    float64(cell.GaugeEvents),
+	}
+	if control {
+		results["control"] = 1
+	} else {
+		results["detected"] = b2f(cell.Detected)
+		results["false_negatives"] = float64(cell.FalseNegatives)
+		if cell.Detected {
+			results["ttd_ns"] = float64(cell.TTD)
+		}
+		if cell.Resolved {
+			results["tt_resolve_ns"] = float64(cell.TTResolve)
+		}
+		if !cell.Collapsed {
+			results["ttr_ns"] = float64(cell.TTR)
+		} else {
+			results["collapsed"] = 1
+		}
+	}
+	endClusterCell(cl, nil, results)
+	return cell, nil
+}
+
+// b2f converts a bool result to its event-stream value.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RenderHealth prints the detection-quality table: one panel per fault
+// family (control first), one row per stack/transport variant.
+func RenderHealth(w io.Writer, cells []HealthCell) {
+	var families []fault.Family
+	seenF := map[fault.Family]bool{}
+	var labels []string
+	seenL := map[string]bool{}
+	byCell := map[fault.Family]map[string]HealthCell{}
+	for _, c := range cells {
+		if !seenF[c.Family] {
+			seenF[c.Family] = true
+			families = append(families, c.Family)
+			byCell[c.Family] = map[string]HealthCell{}
+		}
+		if l := c.Label(); !seenL[l] {
+			seenL[l] = true
+			labels = append(labels, l)
+		}
+		byCell[c.Family][c.Label()] = c
+	}
+	for _, f := range families {
+		if f == controlFamily {
+			fmt.Fprintf(w, "health: control (fault-free)\n")
+			fmt.Fprintf(w, "%-16s %7s %7s %9s\n", "stack", "fires", "fp", "verdict")
+			for _, l := range labels {
+				c, ok := byCell[f][l]
+				if !ok {
+					continue
+				}
+				verdict := "quiet"
+				if c.FalsePositives > 0 {
+					verdict = "NOISY"
+				}
+				fmt.Fprintf(w, "%-16s %7d %7d %9s\n", l, c.Fires, c.FalsePositives, verdict)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
+		fmt.Fprintf(w, "health: %s\n", f)
+		fmt.Fprintf(w, "%-16s %10s %10s %9s %10s %6s %4s %4s\n",
+			"stack", "ttd", "ttr", "ttd/ttr", "resolve", "fires", "fp", "fn")
+		for _, l := range labels {
+			c, ok := byCell[f][l]
+			if !ok {
+				continue
+			}
+			ttd, ratio := "miss", "-"
+			if c.Detected {
+				ttd = c.TTD.Round(time.Millisecond).String()
+				if c.TTR > 0 {
+					ratio = fmt.Sprintf("%.2f", float64(c.TTD)/float64(c.TTR))
+				}
+			}
+			ttr := "collapse"
+			if !c.Collapsed {
+				ttr = c.TTR.Round(time.Millisecond).String()
+			}
+			resolve := "-"
+			if c.Resolved {
+				resolve = c.TTResolve.Round(time.Millisecond).String()
+			}
+			fmt.Fprintf(w, "%-16s %10s %10s %9s %10s %6d %4d %4d\n",
+				l, ttd, ttr, ratio, resolve, c.Fires, c.FalsePositives, c.FalseNegatives)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/netqueue"
 	"repro/internal/simnet"
@@ -106,6 +107,11 @@ type WANConfig struct {
 	DeviceBlocks int64
 	// Seed for loss injection and workload randomness.
 	Seed int64
+	// Health, when non-nil, attaches a gauge scraper + SLO engine to
+	// every cell (one monitor per cell; saturation objectives are the
+	// useful ones here — no fault runner observes ops in this sweep).
+	// Nil keeps the sweep byte-identical to a health-free run.
+	Health *health.Config
 	// Metrics, when non-nil, receives per-cell telemetry tagged with the
 	// sweep axes as experiment=wan (see docs/METRICS.md).
 	Metrics *metrics.Recorder
@@ -266,6 +272,12 @@ func runWANCell(cfg WANConfig, wl, mix string, q netqueue.Discipline,
 		"mix":      mix,
 		"conns":    itoa(conns),
 	}
+	var mon *health.Monitor
+	if cfg.Health != nil {
+		if mon, err = health.New(*cfg.Health); err != nil {
+			return WANCell{}, err
+		}
+	}
 	cl, err := testbed.NewCluster(testbed.ClusterConfig{
 		Kind:         stack,
 		Clients:      n,
@@ -282,6 +294,7 @@ func runWANCell(cfg WANConfig, wl, mix string, q netqueue.Discipline,
 		PerClient: perClient,
 		Metrics:   cellRecorder(cfg.Metrics, "wan", stack, tags),
 		Tracer:    cfg.Tracer,
+		Health:    mon,
 	})
 	if err != nil {
 		if collapsed(err) {

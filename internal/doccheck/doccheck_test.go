@@ -18,6 +18,7 @@ import (
 // root) held to the exported-doc-comment standard.
 var checkedPackages = []string{
 	"internal/cliutil",
+	"internal/health",
 	"internal/metrics",
 	"internal/netqueue",
 	"internal/replay",

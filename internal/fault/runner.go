@@ -29,6 +29,11 @@ type Config struct {
 	// Cooldown extends the run past the last heal event (default 2s) so
 	// the post-recovery window is measurable.
 	Cooldown time.Duration
+	// DryRun replays the plan's timeline without firing its events: the
+	// identical workload shape and windows, but no fault ever happens.
+	// It is the fault-free control cell of the health experiment — any
+	// alert that fires under DryRun is a false positive by construction.
+	DryRun bool
 }
 
 func (c *Config) fill() {
@@ -179,8 +184,11 @@ func Run(cl *testbed.Cluster, cfg Config) (Result, error) {
 	pre := cl.Snap()
 	s := sim.NewScheduler()
 	// The fault process goes first so that on clock ties an event fires
-	// before the tied client issues its next op.
+	// before the tied client issues its next op; the health scraper (if
+	// the cluster has one) goes next so a scrape tied with the injection
+	// observes the post-inject state.
 	s.Spawn(r.fc, r.faultStep)
+	cl.Health().Spawn(s, r.t0)
 	for i := range cl.Clients {
 		s.Spawn(cl.Clients[i].Clock, r.driver(i))
 	}
@@ -227,10 +235,10 @@ func (r *runner) victimDown(t time.Duration) (until time.Duration, down bool) {
 func (r *runner) driver(i int) func() (bool, error) {
 	c := r.cl.Clients[i]
 	st := &r.states[i]
-	victim := r.plan.Family == ClientCrash && i == r.victim
+	victim := r.plan.Family == ClientCrash && i == r.victim && !r.cfg.DryRun
 	return func() (bool, error) {
 		now := c.Clock.Now()
-		if r.plan.Family == DiskFail {
+		if r.plan.Family == DiskFail && !r.cfg.DryRun {
 			// The service is exposed until the rebuild completes: keep
 			// the foreground running (and contending with the rebuild)
 			// until a cooldown past its finish. The backstop covers a
@@ -272,6 +280,7 @@ func (r *runner) driver(i int) func() (bool, error) {
 		}
 		done := c.Clock.Now()
 		st.ops = append(st.ops, opRec{done: done, ok: err == nil})
+		r.cl.Health().ObserveOp(done, done-now, err == nil)
 		if err == nil {
 			if done >= r.healAt {
 				st.recovered = true
@@ -330,6 +339,9 @@ func (r *runner) faultStep() (bool, error) {
 // fire applies event index idx. Repair work advances the fault clock
 // and the repaired clients' clocks to its completion.
 func (r *runner) fire(idx int, ev Event) error {
+	if r.cfg.DryRun {
+		return nil // control run: the timeline passes, nothing breaks
+	}
 	now := r.fc.Now()
 	switch r.plan.Family {
 	case ServerCrash:

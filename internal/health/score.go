@@ -1,0 +1,82 @@
+package health
+
+import "time"
+
+// Transition is one alert state change on the monitor's timeline.
+type Transition struct {
+	// SLO names the objective that transitioned.
+	SLO string
+	// At is the virtual time of the transition (a scrape instant).
+	At time.Duration
+	// Fire is true for a fire, false for a resolve.
+	Fire bool
+	// BurnFast and BurnSlow are the burn rates at the transition.
+	BurnFast float64
+	// BurnSlow is the slow-window burn rate at the transition.
+	BurnSlow float64
+}
+
+// Score grades an alert timeline against fault ground truth: did the
+// monitor notice, how fast, and how cleanly.
+type Score struct {
+	// Detected reports that some objective fired at or after the
+	// injection.
+	Detected bool
+	// TTD is the time from injection to the first such fire.
+	TTD time.Duration
+	// Resolved reports that a resolve followed the service's recovery.
+	Resolved bool
+	// TTResolve is the time from recovery to the first such resolve.
+	TTResolve time.Duration
+	// Fires counts every fire on the timeline.
+	Fires int
+	// FalsePositives counts fires before the injection: nothing was
+	// wrong yet.
+	FalsePositives int
+	// FalseNegatives is 1 when the fault was never detected, else 0.
+	FalseNegatives int
+}
+
+// ScoreTimeline grades trans against a fault's ground truth: inject is
+// the first injection instant and recovered the instant service was
+// fully restored (0 when the run collapsed without recovering). Fires
+// before inject are false positives; the first fire at or after it is
+// the detection; the first resolve at or after recovery closes the
+// incident. Intermediate fire/resolve pairs (a flapping fault observed
+// flapping) count as fires but are neither penalized nor re-scored.
+func ScoreTimeline(trans []Transition, inject, recovered time.Duration) Score {
+	var s Score
+	for _, tr := range trans {
+		if tr.Fire {
+			s.Fires++
+			if tr.At < inject {
+				s.FalsePositives++
+			} else if !s.Detected {
+				s.Detected = true
+				s.TTD = tr.At - inject
+			}
+			continue
+		}
+		if s.Detected && !s.Resolved && recovered > 0 && tr.At >= recovered {
+			s.Resolved = true
+			s.TTResolve = tr.At - recovered
+		}
+	}
+	if !s.Detected {
+		s.FalseNegatives = 1
+	}
+	return s
+}
+
+// ScoreControl grades a fault-free control run: nothing was ever wrong,
+// so every fire is a false positive and there is no detection to miss.
+func ScoreControl(trans []Transition) Score {
+	var s Score
+	for _, tr := range trans {
+		if tr.Fire {
+			s.Fires++
+			s.FalsePositives++
+		}
+	}
+	return s
+}

@@ -110,6 +110,19 @@ func (s *Session) Stats() tcpsim.Stats {
 	return agg
 }
 
+// Gauges exports the session's instantaneous congestion state for the
+// health scraper (metrics.SubsysGauge): congestion window and un-ACKed
+// bytes summed across the MC/S connections.
+func (s *Session) Gauges(now time.Duration) map[string]float64 {
+	agg := map[string]float64{"cwnd_segs": 0, "inflight_bytes": 0}
+	for _, c := range s.conns {
+		for k, v := range c.Gauges(now) {
+			agg[k] += v
+		}
+	}
+	return agg
+}
+
 func (s *Session) charge(at time.Duration, d time.Duration) time.Duration {
 	if s.cpu == nil {
 		return at

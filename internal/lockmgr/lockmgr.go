@@ -264,6 +264,17 @@ func (m *Manager) waiterIndex(req Lock) int {
 	return -1
 }
 
+// Gauges exports the manager's instantaneous queue state for the health
+// scraper (metrics.SubsysGauge): held locks and blocked waiters at time
+// now. It is read-only — expiry stays with the request path, so scraping
+// never perturbs the lock timeline.
+func (m *Manager) Gauges(now time.Duration) map[string]float64 {
+	return map[string]float64{
+		"held":    float64(len(m.held)),
+		"waiters": float64(len(m.waiters)),
+	}
+}
+
 // Counters exports cumulative lock-manager counters for the metrics
 // event stream (metrics.SubsysLock).
 func (m *Manager) Counters() map[string]int64 {

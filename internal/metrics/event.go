@@ -45,6 +45,8 @@ const (
 	SubsysHist  = "hist"  // per-op latency histograms (log-spaced buckets)
 	SubsysLock  = "lock"  // byte-range lock manager / SCSI reservation counters
 	SubsysLease = "lease" // NFSv4 delegation (lease) counters
+	SubsysGauge = "gauge" // per-station USE gauges from the health scraper
+	SubsysAlert = "alert" // SLO burn-rate fire/resolve transitions
 )
 
 // Sampled-telemetry tag names. Above a cluster's telemetry fan-in, only a

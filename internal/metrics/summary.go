@@ -184,6 +184,14 @@ func (s *Summary) Render(w io.Writer) {
 			for _, x := range xs {
 				sum += x
 			}
+			if g.Subsys == SubsysGauge {
+				// Gauges are instantaneous levels: extrema tell the story
+				// (did the queue ever back up), percentiles mostly repeat
+				// the mean — and a level must never be rate-converted.
+				fmt.Fprintf(w, "  %-24s n=%-6d min=%-12.4g mean=%-12.4g max=%.4g\n",
+					k, len(xs), xs[0], sum/float64(len(xs)), xs[len(xs)-1])
+				continue
+			}
 			fmt.Fprintf(w, "  %-24s n=%-6d mean=%-12.4g p50=%-12.4g p90=%-12.4g p99=%.4g\n",
 				k, len(xs), sum/float64(len(xs)),
 				percentile(xs, 50), percentile(xs, 90), percentile(xs, 99))
@@ -191,17 +199,55 @@ func (s *Summary) Render(w io.Writer) {
 	}
 }
 
-// Window is one fixed-width virtual-time bucket of summed counter deltas.
+// Window is one fixed-width virtual-time bucket of summed counter
+// deltas and gauge level statistics.
 type Window struct {
 	// Start is the bucket's start in virtual ns.
 	Start int64
 	// Groups maps Group.Key -> counter sums within the bucket.
 	Groups map[string]map[string]int64
+	// Gauges maps Group.Key -> per-gauge level statistics within the
+	// bucket. Gauges are instantaneous levels, so they aggregate as
+	// min/mean/max — never as rate-convertible sums.
+	Gauges map[string]map[string]GaugeStat
+}
+
+// GaugeStat aggregates one gauge series within a window: the extrema
+// plus the running sum backing Mean.
+type GaugeStat struct {
+	// Min and Max are the lowest and highest scraped levels.
+	Min, Max float64
+	// Sum and N back Mean.
+	Sum float64
+	N   int
+}
+
+// Mean is the average scraped level (0 for an empty stat).
+func (g GaugeStat) Mean() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return g.Sum / float64(g.N)
+}
+
+// fold adds one scraped level.
+func (g GaugeStat) fold(v float64) GaugeStat {
+	if g.N == 0 || v < g.Min {
+		g.Min = v
+	}
+	if g.N == 0 || v > g.Max {
+		g.Max = v
+	}
+	g.Sum += v
+	g.N++
+	return g
 }
 
 // Windows buckets sample events into fixed virtual-time windows of the
-// given width, grouped like Summarize. Buckets with no samples are
-// omitted; buckets are returned in time order.
+// given width, grouped like Summarize. Gauge points (subsys=gauge) fold
+// into per-window min/mean/max level statistics instead of counter
+// sums. Buckets with no events are omitted; buckets are returned in
+// time order.
 func Windows(events []Event, width time.Duration, by []string) []Window {
 	if width <= 0 {
 		width = time.Second
@@ -211,13 +257,18 @@ func Windows(events []Event, width time.Duration, by []string) []Window {
 	buckets := map[int64]*Window{}
 	var sb strings.Builder
 	for _, e := range events {
-		if e.Kind != KindSample {
+		gauge := e.Kind == KindPoint && e.Subsys == SubsysGauge
+		if e.Kind != KindSample && !gauge {
 			continue
 		}
 		start := e.T / int64(width) * int64(width)
 		b, ok := buckets[start]
 		if !ok {
-			b = &Window{Start: start, Groups: map[string]map[string]int64{}}
+			b = &Window{
+				Start:  start,
+				Groups: map[string]map[string]int64{},
+				Gauges: map[string]map[string]GaugeStat{},
+			}
 			buckets[start] = b
 		}
 		sb.Reset()
@@ -231,6 +282,15 @@ func Windows(events []Event, width time.Duration, by []string) []Window {
 			}
 		}
 		key := sb.String()
+		if gauge {
+			if b.Gauges[key] == nil {
+				b.Gauges[key] = map[string]GaugeStat{}
+			}
+			for k, v := range e.Values {
+				b.Gauges[key][k] = b.Gauges[key][k].fold(v)
+			}
+			continue
+		}
 		if b.Groups[key] == nil {
 			b.Groups[key] = map[string]int64{}
 		}
@@ -250,7 +310,9 @@ func Windows(events []Event, width time.Duration, by []string) []Window {
 	return out
 }
 
-// RenderWindows prints the bucketed counter-over-time view.
+// RenderWindows prints the bucketed counter-over-time view. Counter
+// groups render as per-window sums; gauge groups as min/mean/max
+// levels.
 func RenderWindows(w io.Writer, windows []Window, width time.Duration) {
 	for _, win := range windows {
 		fmt.Fprintf(w, "[%s .. %s)\n",
@@ -260,6 +322,15 @@ func RenderWindows(w io.Writer, windows []Window, width time.Duration) {
 			parts := make([]string, 0, len(counters))
 			for _, k := range sortedKeys(counters) {
 				parts = append(parts, fmt.Sprintf("%s=%d", k, counters[k]))
+			}
+			fmt.Fprintf(w, "  %-40s %s\n", key, strings.Join(parts, " "))
+		}
+		for _, key := range sortedKeys(win.Gauges) {
+			stats := win.Gauges[key]
+			parts := make([]string, 0, len(stats))
+			for _, k := range sortedKeys(stats) {
+				s := stats[k]
+				parts = append(parts, fmt.Sprintf("%s=%.4g/%.4g/%.4g", k, s.Min, s.Mean(), s.Max))
 			}
 			fmt.Fprintf(w, "  %-40s %s\n", key, strings.Join(parts, " "))
 		}

@@ -60,6 +60,71 @@ func TestWindowsGolden(t *testing.T) {
 	checkGolden(t, "windows.golden", buf.Bytes())
 }
 
+// loadGauges reads the health-layer fixture: gauge/alert points mixed
+// with counter samples.
+func loadGauges(t *testing.T) []Event {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "gauges.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestGaugeSummaryGolden pins the gauge rendering: subsys=gauge groups
+// report min/mean/max levels (never percentile or rate lines), while
+// alert points keep the percentile rendering.
+func TestGaugeSummaryGolden(t *testing.T) {
+	events := loadGauges(t)
+	var buf bytes.Buffer
+	Summarize(events, []string{"station", "slo"}).Render(&buf)
+	checkGolden(t, "gauges_summary.golden", buf.Bytes())
+}
+
+// TestGaugeWindowsGolden pins the windowed gauge view: per-window
+// min/mean/max levels alongside counter sums, never rate-converted.
+func TestGaugeWindowsGolden(t *testing.T) {
+	events := loadGauges(t)
+	var buf bytes.Buffer
+	width := time.Second
+	RenderWindows(&buf, Windows(events, width, []string{"station"}), width)
+	checkGolden(t, "gauges_windows.golden", buf.Bytes())
+}
+
+// TestGaugeWindowsFold checks the GaugeStat arithmetic through the
+// window bucketer: min/max extrema and the running mean.
+func TestGaugeWindowsFold(t *testing.T) {
+	events := loadGauges(t)
+	wins := Windows(events, time.Second, nil)
+	if len(wins) != 2 {
+		t.Fatalf("%d windows, want 2", len(wins))
+	}
+	stats, ok := wins[0].Gauges["gauge"]
+	if !ok {
+		t.Fatalf("first window has no gauge group: %+v", wins[0])
+	}
+	util := stats["util"]
+	if util.N != 5 || util.Min != 0.2 || util.Max != 1 {
+		t.Fatalf("util stat = %+v, want n=5 min=0.2 max=1", util)
+	}
+	if got, want := util.Mean(), (0.2+0.4+0.9+1+0.5)/5; got != want {
+		t.Fatalf("util mean = %g, want %g", got, want)
+	}
+	if (GaugeStat{}).Mean() != 0 {
+		t.Fatal("empty GaugeStat mean not 0")
+	}
+	// Gauge levels must never leak into the counter groups (where a
+	// later rate conversion would corrupt them).
+	if _, ok := wins[0].Groups["gauge"]; ok {
+		t.Fatal("gauge events folded into counter groups")
+	}
+}
+
 func TestSummarizeTotals(t *testing.T) {
 	events := loadStream(t)
 	s := Summarize(events, []string{"stack"})

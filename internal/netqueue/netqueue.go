@@ -443,3 +443,13 @@ func (e *Endpoint) SendControl(now time.Duration, size int, d Direction) (sent, 
 func (l *Link) Backlog(now time.Duration, d Direction) int64 {
 	return l.lanes[d].prune(now)
 }
+
+// Gauges exports the bottleneck's instantaneous queue depths for the
+// health scraper (metrics.SubsysGauge): standing bytes per direction at
+// time now. Cumulative HOL wait and drop totals live in Counters.
+func (l *Link) Gauges(now time.Duration) map[string]float64 {
+	return map[string]float64{
+		"up_depth_bytes":   float64(l.Backlog(now, Up)),
+		"down_depth_bytes": float64(l.Backlog(now, Down)),
+	}
+}

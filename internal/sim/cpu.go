@@ -127,6 +127,17 @@ func (c *CPU) Counters() map[string]int64 {
 // BusyUntil reports when the CPU next goes idle.
 func (c *CPU) BusyUntil() time.Duration { return c.res.BusyUntil() }
 
+// Gauges exports the CPU's instantaneous saturation state for the health
+// scraper (metrics.SubsysGauge): runq_ns is how far the run queue extends
+// past now, the virtual-time analogue of load average.
+func (c *CPU) Gauges(now time.Duration) map[string]float64 {
+	runq := c.res.BusyUntil() - now
+	if runq < 0 {
+		runq = 0
+	}
+	return map[string]float64{"runq_ns": float64(runq)}
+}
+
 // Utilization returns mean utilization over [0, elapsed].
 func (c *CPU) Utilization(elapsed time.Duration) float64 {
 	return c.res.Utilization(elapsed)

@@ -178,6 +178,12 @@ func (s *Scheduler) Run() error {
 	}
 }
 
+// Live reports how many processes are still runnable. A long-lived monitor
+// process (the health scraper) uses it as its termination condition: when
+// it is the only live process left, nothing can generate further work and
+// it should retire instead of scraping an idle cluster forever.
+func (s *Scheduler) Live() int { return len(s.heap) }
+
 // Horizon reports the latest clock across all registered processes: the
 // wall-clock analogue of "when the last client finished". It iterates the
 // processes directly rather than materializing a clock slice, so polling

@@ -93,6 +93,9 @@ func (d *Disk) SetBackground(rho float64) { d.arm.SetBackground(rho) }
 // Busy reports cumulative arm busy time.
 func (d *Disk) Busy() time.Duration { return d.arm.Busy() }
 
+// BusyUntil reports when the arm next goes idle (the tail of its queue).
+func (d *Disk) BusyUntil() time.Duration { return d.arm.BusyUntil() }
+
 // serviceTime computes positioning plus transfer for one request.
 func (d *Disk) serviceTime(lba int64, blocks int) time.Duration {
 	transfer := time.Duration(int64(blocks) * int64(d.p.BlockSize) * int64(time.Second) / d.p.TransferRate)

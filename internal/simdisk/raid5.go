@@ -389,6 +389,28 @@ func (r *RAID5) Write(start time.Duration, lba int64, blocks int) (done time.Dur
 	return done, nil
 }
 
+// Gauges exports the array's instantaneous saturation state for the health
+// scraper (metrics.SubsysGauge): queue_ns is how far the busiest arm's
+// queue extends past now, degraded is 0/1, and rebuild is the replacement
+// member's reconstruction progress (1 when healthy).
+func (r *RAID5) Gauges(now time.Duration) map[string]float64 {
+	var queue time.Duration
+	for _, d := range r.disks {
+		if q := d.BusyUntil() - now; q > queue {
+			queue = q
+		}
+	}
+	degraded := 0.0
+	if r.Degraded() {
+		degraded = 1
+	}
+	return map[string]float64{
+		"queue_ns": float64(queue),
+		"degraded": degraded,
+		"rebuild":  r.RebuildProgress(),
+	}
+}
+
 // ---- member failure and rebuild ----
 
 // FailDisk kills one member: until the rebuild completes, reads touching

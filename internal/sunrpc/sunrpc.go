@@ -180,6 +180,26 @@ func (c *Client) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters.
 func (c *Client) ResetStats() { c.stats = Stats{} }
 
+// Gauges exports the transport slot table's instantaneous occupancy for
+// the health scraper (metrics.SubsysGauge): slots whose completion
+// horizon lies past now, both as a count and as a fraction of the table.
+func (c *Client) Gauges(now time.Duration) map[string]float64 {
+	n := c.SlotEntries
+	if n <= 0 {
+		n = DefaultSlotEntries
+	}
+	var used int
+	for _, h := range c.slots {
+		if h > now {
+			used++
+		}
+	}
+	return map[string]float64{
+		"slots_in_use": float64(used),
+		"slot_frac":    float64(used) / float64(n),
+	}
+}
+
 // sendMsg delivers one call or reply unit on the datagram path: over UDP
 // it is a real datagram — fragmented on the wire and lost whole if any
 // MTU fragment is lost — while the record-marked fluid TCP path keeps the

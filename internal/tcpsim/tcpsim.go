@@ -191,6 +191,23 @@ func (c *Conn) Break() { c.broken = true }
 // Config returns the (filled) connection configuration.
 func (c *Conn) Config() Config { return c.cfg }
 
+// Gauges exports the connection's instantaneous congestion state for the
+// health scraper (metrics.SubsysGauge): the client->server sender's
+// congestion window in segments and its un-ACKed bytes still occupying
+// the send window at time now.
+func (c *Conn) Gauges(now time.Duration) map[string]float64 {
+	var inflight int64
+	for _, ref := range c.up.inflight {
+		if ref.clearAt > now {
+			inflight += int64(ref.bytes)
+		}
+	}
+	return map[string]float64{
+		"cwnd_segs":      c.up.cwnd,
+		"inflight_bytes": float64(inflight),
+	}
+}
+
 // sender returns the per-direction window state.
 func (c *Conn) sender(d simnet.Direction) *half {
 	if d == simnet.ClientToServer {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/ext3"
 	"repro/internal/fleet"
+	"repro/internal/health"
 	"repro/internal/iscsi"
 	"repro/internal/lockmgr"
 	"repro/internal/metrics"
@@ -95,6 +96,14 @@ type ClusterConfig struct {
 	// issuing client's id (see docs/TRACING.md). The scheduler runs one
 	// client's syscall to completion per step, so one tracer serves all.
 	Tracer *tracing.Tracer
+	// Health, when non-nil, attaches a virtual-time health monitor: the
+	// cluster registers its per-station gauge sources on it (see
+	// gauges.go) and Run spawns its scrape loop alongside the drivers,
+	// so gauge and alert events stream through Metrics in virtual time
+	// (docs/HEALTH.md). Alert state is per-monitor, so give each
+	// experiment cell its own. Nil is the inert state: no gauge sources,
+	// no scrape process, byte-identical streams.
+	Health *health.Monitor
 	// Sharing, when non-nil, enables cross-client sharing: an NFS
 	// cluster gets a server-side byte-range lock manager (and, with
 	// Delegation, the v4 lease machinery); an iSCSI cluster gets one
@@ -194,7 +203,8 @@ type Cluster struct {
 
 	fluid *fleet.Operating // solved background operating point (nil if none)
 
-	rec *metrics.Recorder
+	rec    *metrics.Recorder
+	health *health.Monitor // nil unless Cfg.Health was set
 }
 
 // clientNetCfg derives client i's network parameters from the base
@@ -358,6 +368,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl.rec = cfg.Metrics.With(metrics.Tags{"transport": base.Transport.String()})
 	cl.instrument()
+	cl.attachHealth(cfg.Health)
 	return cl, nil
 }
 
@@ -600,6 +611,10 @@ func (cl *Cluster) Run(drivers []func() (more bool, err error)) error {
 		return fmt.Errorf("testbed: %d drivers for %d clients", len(drivers), len(cl.Clients))
 	}
 	s := sim.NewScheduler()
+	// The health scraper (if any) goes first so that on clock ties a
+	// scrape observes the instant before tied client work starts. It
+	// retires on its own once the drivers finish.
+	cl.health.Spawn(s, cl.Horizon())
 	for i, d := range drivers {
 		s.Spawn(cl.Clients[i].Clock, d)
 	}
@@ -650,6 +665,12 @@ func (cl *Cluster) ColdCache() error {
 		return err
 	}
 	cl.EmitSample()
+	// Flush a pre-rebuild gauge sample too: the scrape grid would
+	// otherwise skip the quiesced instant, and the utilization closures
+	// should close their windows on the old instances before the
+	// protocol clients are torn down (the gauge analogue of the counter
+	// flush above).
+	cl.health.Scrape(cl.Horizon())
 	if cl.srv != nil {
 		// One server restart, then every client drops caches and
 		// re-mounts against the fresh export.
